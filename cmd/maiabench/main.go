@@ -1,0 +1,70 @@
+// Command maiabench reproduces the paper's evaluation: it runs any (or
+// all) of the experiments behind Table 1 and Figures 4-27 on the
+// simulated Maia system and prints the same rows the paper reports,
+// plus the "report" card (every headline claim, graded) and the ext-*
+// extension experiments.
+//
+// Usage:
+//
+//	maiabench -list
+//	maiabench table1 fig4 fig19 report
+//	maiabench -quick all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maia/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "maiabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("maiabench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments and exit")
+	quick := fs.Bool("quick", false, "trim sweep densities for a fast pass")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: maiabench [-quick] [-list] <experiment>... | all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	env := harness.DefaultEnv()
+	env.Quick = *quick
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiments given")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		return harness.RunAll(os.Stdout, env)
+	}
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		fmt.Printf("== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(os.Stdout, env); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Command maiainfo prints the modeled Maia system configuration — the
+// simulated counterpart of inspecting /proc/cpuinfo and micinfo on the
+// real machine.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"maia/internal/machine"
+)
+
+func main() {
+	sys := machine.NewSystem()
+	n := sys.Node
+	fmt.Printf("%s\n", sys.Name)
+	fmt.Printf("  nodes:        %d (%s)\n", sys.Nodes, sys.Interconnect)
+	fmt.Printf("  filesystem:   %s\n", sys.FileSystem)
+	fmt.Printf("  software:     %s, %s, %s, %s\n", sys.Compiler, sys.MPILibrary, sys.MathLibrary, sys.OS)
+	host, phi, total := sys.PeakTflops()
+	fmt.Printf("  peak:         %.1f TF host + %.1f TF Phi = %.1f TF\n", host, phi, total)
+	fmt.Println()
+
+	describe := func(name string, p machine.ProcessorSpec, count int, memGB int) {
+		fmt.Printf("%s: %d x %s (%s)\n", name, count, p.Name, p.Architecture)
+		fmt.Printf("  cores:        %d @ %.2f GHz, %d-bit SIMD, %d flops/clock, %d threads/core (%v)\n",
+			p.Cores, p.BaseGHz, p.SIMDWidthBits, p.FlopsPerClock, p.ThreadsPerCore, p.MT)
+		fmt.Printf("  peak:         %.1f Gflop/s per core, %.1f Gflop/s per processor\n",
+			p.PeakGflopsPerCore(), p.PeakGflops())
+		for _, c := range p.Caches {
+			shared := ""
+			if c.Shared {
+				shared = " (shared)"
+			}
+			fmt.Printf("  %-4s          %s, %d-way, %.1f ns%s\n",
+				c.Name+":", sizeLabel(c.SizeBytes), c.Assoc, c.LatencyNs, shared)
+		}
+		fmt.Printf("  memory:       %d GB %s, %d channels, %.1f GB/s peak (%.0f GB/s sustained triad), %.0f ns\n",
+			memGB, p.MemTechnology, p.MemChannels, p.MemPeakGBs, p.MemSustainedGBs, p.MemLatencyNs)
+	}
+	describe("host", n.HostProc, n.Sockets, n.HostMemGB)
+	fmt.Println()
+	describe("coprocessor", n.PhiProc, n.Phis, n.PhiProc.MemGB)
+	fmt.Println()
+	fmt.Printf("fabrics: %s; %s per Phi; %s\n", n.QPI.Name, n.PCIe.Name, n.HCA.Name)
+	os.Exit(0)
+}
+
+func sizeLabel(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%d MB", b>>20)
+	}
+	return fmt.Sprintf("%d KB", b>>10)
+}

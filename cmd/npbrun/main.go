@@ -1,0 +1,303 @@
+// Command npbrun executes the REAL NPB kernel implementations (not the
+// performance models) at laptop-runnable scales and verifies their
+// results, the way the reference suite's verification stage does:
+//
+//	npbrun -bench ep -class S      # reproduces the official EP.S sums
+//	npbrun -bench mg               # V-cycle residual history
+//	npbrun -bench all              # whole suite, small sizes
+//
+// The grid-based kernels run reduced grids regardless of class (the
+// class only scales EP, CG and IS here); paper-scale performance is the
+// job of cmd/maiabench, which prices class C through the execution
+// model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"maia/internal/machine"
+	"maia/internal/npb"
+	"maia/internal/simomp"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "ep|cg|mg|ft|is|bt|lu|sp|all")
+	class := flag.String("class", "S", "problem class for EP/CG/IS (S or W)")
+	threads := flag.Int("threads", 8, "simulated OpenMP team width")
+	mpiRanks := flag.Int("mpi", 0, "also run every distributed-memory kernel with this many MPI ranks")
+	flag.Parse()
+
+	team := simomp.NewTeam(simomp.New(
+		machine.HostCoresPartition(machine.NewNode(), *threads, 1)))
+
+	var failed bool
+	run := func(name string, f func() error) {
+		if *bench != "all" && *bench != name {
+			return
+		}
+		fmt.Printf("--- %s ---\n", strings.ToUpper(name))
+		if err := f(); err != nil {
+			fmt.Printf("FAILED: %v\n", err)
+			failed = true
+			return
+		}
+		fmt.Println("VERIFIED")
+	}
+
+	run("ep", func() error { return runEP(*class, team, *mpiRanks) })
+	run("cg", func() error { return runCG(*class, team, *mpiRanks) })
+	run("mg", func() error { return runMG(team, *mpiRanks) })
+	run("ft", func() error { return runFT(team, *mpiRanks) })
+	run("is", func() error { return runIS(*class, team, *mpiRanks) })
+	run("bt", func() error { return runBT(team, *mpiRanks) })
+	run("lu", func() error { return runLU(team, *mpiRanks) })
+	run("sp", func() error { return runSP(team, *mpiRanks) })
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runEP(class string, team *simomp.Team, mpiRanks int) error {
+	pairs := int64(1) << 24
+	if class == "W" {
+		pairs = 1 << 25
+	}
+	res, err := npb.RunEP(pairs, team)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pairs=2^%d sx=%.12e sy=%.12e accepted=%d\n",
+		log2i(pairs), res.Sx, res.Sy, res.Accepted)
+	if mpiRanks > 0 {
+		mres, err := npb.RunEPMPI(pairs, mpiRanks)
+		if err != nil {
+			return err
+		}
+		if mres.Accepted != res.Accepted || math.Abs(mres.Sx-res.Sx) > 1e-9 {
+			return fmt.Errorf("MPI EP diverges from serial")
+		}
+		fmt.Printf("MPI(%d ranks): sums match serial\n", mpiRanks)
+	}
+	if class == "S" {
+		// The official NPB 3.3 class S verification values.
+		const wantSx, wantSy = -3.247834652034740e3, -6.958407078382297e3
+		if math.Abs(res.Sx-wantSx) > 1e-8 || math.Abs(res.Sy-wantSy) > 1e-8 {
+			return fmt.Errorf("sums do not match the NPB reference")
+		}
+		if res.Accepted != 13176389 {
+			return fmt.Errorf("accepted count %d != reference 13176389", res.Accepted)
+		}
+	}
+	return nil
+}
+
+func runCG(class string, team *simomp.Team, mpiRanks int) error {
+	n, nz, iters, shift := 1400, 7, 15, 10.0
+	if class == "W" {
+		n, nz, shift = 7000, 8, 12.0
+	}
+	m := npb.MakeCGMatrix(n, nz)
+	res, err := npb.RunCG(m, shift, iters, team)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d nnz=%d zeta=%.10f residual=%.3e\n", n, m.NNZ(), res.Zeta, res.Residual)
+	if res.Residual > 1e-6 {
+		return fmt.Errorf("inner CG residual %v too large", res.Residual)
+	}
+	h := res.ZetaHistory
+	if d := math.Abs(h[len(h)-1] - h[len(h)-2]); d > 1e-2*math.Abs(res.Zeta) {
+		return fmt.Errorf("zeta not converged (last delta %v)", d)
+	}
+	if mpiRanks > 0 {
+		mres, err := npb.RunCGMPI(m, shift, iters, mpiRanks)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("MPI(%d ranks): zeta=%.10f\n", mpiRanks, mres.Zeta)
+		if math.Abs(mres.Zeta-res.Zeta) > 1e-9*math.Abs(res.Zeta) {
+			return fmt.Errorf("MPI zeta diverges from serial")
+		}
+	}
+	return nil
+}
+
+func runMG(team *simomp.Team, mpiRanks int) error {
+	res, err := npb.RunMG(32, 4, team, false)
+	if err != nil {
+		return err
+	}
+	if mpiRanks > 0 {
+		mres, err := npb.RunMGMPI(32, 4, mpiRanks)
+		if err != nil {
+			return err
+		}
+		for c := range res.ResidualNorms {
+			if math.Abs(mres.ResidualNorms[c]-res.ResidualNorms[c]) > 1e-10*res.ResidualNorms[c] {
+				return fmt.Errorf("MPI residual %d diverges from serial", c)
+			}
+		}
+		fmt.Printf("MPI(%d ranks): residual history matches serial\n", mpiRanks)
+	}
+	fmt.Printf("32^3 grid, residuals per V-cycle: %.3e", res.ResidualNorms[0])
+	for _, r := range res.ResidualNorms[1:] {
+		fmt.Printf(" -> %.3e", r)
+	}
+	fmt.Println()
+	last := res.ResidualNorms[len(res.ResidualNorms)-1]
+	if last >= res.ResidualNorms[0]/4 {
+		return fmt.Errorf("V-cycles not contracting")
+	}
+	return nil
+}
+
+func runFT(team *simomp.Team, mpiRanks int) error {
+	res, err := npb.RunFT(32, 32, 16, 4, team)
+	if err != nil {
+		return err
+	}
+	if mpiRanks > 0 {
+		mres, err := npb.RunFTMPI(32, 32, 16, 4, mpiRanks)
+		if err != nil {
+			return err
+		}
+		for s := range res.Checksums {
+			d := res.Checksums[s] - mres.Checksums[s]
+			if math.Hypot(real(d), imag(d)) > 1e-9 {
+				return fmt.Errorf("MPI checksum %d diverges from serial", s)
+			}
+		}
+		fmt.Printf("MPI(%d ranks): checksums match serial\n", mpiRanks)
+	}
+	fmt.Printf("32x32x16 grid, checksums:")
+	for _, c := range res.Checksums {
+		fmt.Printf(" (%.4f,%.4f)", real(c), imag(c))
+	}
+	fmt.Println()
+	for i := 1; i < len(res.Energies); i++ {
+		if res.Energies[i] > res.Energies[i-1]*(1+1e-12) {
+			return fmt.Errorf("diffusion energy grew at step %d", i)
+		}
+	}
+	g := npb.NewFTGrid(16, 16, 16)
+	for i := range g.V {
+		g.V[i] = complex(float64(i%17)*0.1, float64(i%5)*0.2)
+	}
+	if e := npb.FTRoundTripError(g, team); e > 1e-10 {
+		return fmt.Errorf("FFT round-trip error %v", e)
+	}
+	return nil
+}
+
+func runIS(class string, team *simomp.Team, mpiRanks int) error {
+	n, maxKey := int64(1)<<16, int64(1)<<11
+	if class == "W" {
+		n, maxKey = 1<<20, 1<<16
+	}
+	keys := npb.ISKeys(n, maxKey)
+	res, err := npb.RunIS(keys, maxKey, 10, team)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("keys=2^%d maxKey=2^%d iterations=%d\n", log2i(n), log2i(maxKey), res.Iterations)
+	if err := npb.ISVerify(keys, maxKey, 10, res); err != nil {
+		return err
+	}
+	if mpiRanks > 0 {
+		mres, err := npb.RunISMPI(n, maxKey, 10, mpiRanks)
+		if err != nil {
+			return err
+		}
+		for i := range res.Sorted {
+			if mres.Sorted[i] != res.Sorted[i] {
+				return fmt.Errorf("MPI sort diverges from serial at %d", i)
+			}
+		}
+		fmt.Printf("MPI(%d ranks): sorted output matches serial\n", mpiRanks)
+	}
+	return nil
+}
+
+func runBT(team *simomp.Team, mpiRanks int) error {
+	norms, err := npb.RunBT(12, 20, team)
+	if err != nil {
+		return err
+	}
+	if err := checkSettling("BT", norms); err != nil {
+		return err
+	}
+	return checkMPINorms("BT", norms, mpiRanks, func(ranks int) ([]float64, error) {
+		return npb.RunBTMPI(12, 20, ranks)
+	})
+}
+
+func runLU(team *simomp.Team, mpiRanks int) error {
+	res, err := npb.RunLU(10, 8, team)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("10^3 grid, SSOR residuals: %.3e -> %.3e over %d sweeps\n",
+		res[0], res[len(res)-1], len(res))
+	if res[len(res)-1] >= res[0]/10 {
+		return fmt.Errorf("SSOR not converging")
+	}
+	return checkMPINorms("LU", res, mpiRanks, func(ranks int) ([]float64, error) {
+		return npb.RunLUMPI(10, 8, ranks)
+	})
+}
+
+func runSP(team *simomp.Team, mpiRanks int) error {
+	norms, err := npb.RunSP(12, 20, team)
+	if err != nil {
+		return err
+	}
+	if err := checkSettling("SP", norms); err != nil {
+		return err
+	}
+	return checkMPINorms("SP", norms, mpiRanks, func(ranks int) ([]float64, error) {
+		return npb.RunSPMPI(12, 20, ranks)
+	})
+}
+
+// checkMPINorms runs the distributed variant and compares its norm
+// history with the serial run.
+func checkMPINorms(name string, serial []float64, ranks int, f func(int) ([]float64, error)) error {
+	if ranks <= 0 {
+		return nil
+	}
+	got, err := f(ranks)
+	if err != nil {
+		return err
+	}
+	for s := range serial {
+		if math.Abs(got[s]-serial[s]) > 1e-12*math.Max(serial[s], 1e-30) {
+			return fmt.Errorf("%s MPI norm %d diverges from serial", name, s)
+		}
+	}
+	fmt.Printf("MPI(%d ranks): norm history matches serial\n", ranks)
+	return nil
+}
+
+func checkSettling(name string, norms []float64) error {
+	fmt.Printf("%s: 12^3 grid, %d ADI steps, final norm %.6f\n", name, len(norms), norms[len(norms)-1])
+	early := math.Abs(norms[1] - norms[0])
+	late := math.Abs(norms[len(norms)-1] - norms[len(norms)-2])
+	if late > early {
+		return fmt.Errorf("%s not approaching steady state", name)
+	}
+	return nil
+}
+
+func log2i(n int64) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

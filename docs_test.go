@@ -1,0 +1,107 @@
+// Package-level meta-tests: the documentation deliverable, enforced.
+package main_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Every exported declaration in every non-test source file must carry a
+// doc comment.
+func TestEveryExportedItemDocumented(t *testing.T) {
+	var missing []string
+	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") ||
+			strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		report := func(name string, pos token.Pos) {
+			missing = append(missing, path+": "+name+" ("+fset.Position(pos).String()+")")
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					report("func "+d.Name.Name, d.Pos())
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report("type "+s.Name.Name, s.Pos())
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report("var/const "+n.Name, n.Pos())
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported items lack doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}
+
+// Struct fields of exported structs should be documented too; this is
+// advisory (fields with self-evident names inside documented structs are
+// acceptable), so the test only guards against whole structs of
+// undocumented fields in the public model types.
+func TestModelStructFieldsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, path := range []string{
+		"internal/core/workload.go",
+		"internal/machine/processor.go",
+	} {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil || len(st.Fields.List) == 0 {
+				return true
+			}
+			documented := 0
+			exported := 0
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					if !name.IsExported() {
+						continue
+					}
+					exported++
+					if fl.Doc != nil || fl.Comment != nil {
+						documented++
+					}
+				}
+			}
+			if exported >= 3 && documented == 0 {
+				t.Errorf("%s: a struct with %d exported fields documents none of them",
+					fset.Position(st.Pos()), exported)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// cfd runs the two production-application stand-ins end to end: the real
+// mini-Cart3D Euler solver and the real mini-OVERFLOW multi-zone solver
+// (serial, OpenMP, and genuine MPI over simmpi ranks), then prices the
+// paper-scale cases of Figures 21-23.
+//
+// Run with:
+//
+//	go run ./examples/cfd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maia/internal/apps/cart3d"
+	"maia/internal/apps/overflow"
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/pcie"
+	"maia/internal/simomp"
+)
+
+func main() {
+	node := machine.NewNode()
+	model := core.DefaultModel()
+
+	// --- Cart3D: a real finite-volume Euler solve -------------------
+	s, err := cart3d.NewSolver(16, 16, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.AddPressurePulse(0.1)
+	before := s.Totals()
+	team := simomp.NewTeam(simomp.New(machine.HostCoresPartition(node, 8, 1)))
+	for i := 0; i < 10; i++ {
+		s.Step(s.StableDt(0.4), team)
+	}
+	after := s.Totals()
+	fmt.Printf("cart3d: 10 RK2 steps on 16^3; mass drift %.2e (conserved)\n",
+		after[0]-before[0])
+
+	// Figure 21 at paper scale: OneraM6, 6M cells.
+	host, phi := cart3d.Fig21(model, node)
+	best := cart3d.Best(phi)
+	fmt.Printf("cart3d OneraM6: host 16t %.1f GF; best Phi %.1f GF at %d threads (host/Phi %.2fx)\n",
+		host.Gflops, best.Gflops, best.Partition.Threads(), host.Gflops/best.Gflops)
+
+	// --- OVERFLOW: a real multi-zone implicit solve, serial vs MPI ---
+	sizes := []int{10, 8, 12, 8}
+	serial, err := overflow.RunMPI(sizes, 0.05, 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpi, err := overflow.RunMPI(sizes, 0.05, 3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxDiff := 0.0
+	for z := range serial {
+		if d := abs(serial[z] - mpi[z]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("overflow: 4 overset zones, 3 steps; 3-rank MPI vs serial max diff %.2e\n", maxDiff)
+
+	// Figure 22 at paper scale: the (ranks x threads) sweep.
+	hostT, phiT, err := overflow.Fig22(model, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overflow DLRF6-Medium: host 16x1 %.3f s/step, 1x16 %.3f; Phi 8x28 %.3f, 4x14 %.3f\n",
+		hostT[overflow.Combo{Ranks: 16, Threads: 1}].Seconds(),
+		hostT[overflow.Combo{Ranks: 1, Threads: 16}].Seconds(),
+		phiT[overflow.Combo{Ranks: 8, Threads: 28}].Seconds(),
+		phiT[overflow.Combo{Ranks: 4, Threads: 14}].Seconds())
+
+	// Figure 23: symmetric host+Phi0+Phi1 with both software stacks.
+	hostOnly, err := overflow.HostOnlyStepTime(model, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := overflow.SymmetricConfig{
+		HostCombo: overflow.Combo{Ranks: 16, Threads: 1},
+		PhiCombo:  overflow.Combo{Ranks: 8, Threads: 28},
+	}
+	cfg.Software = pcie.PreUpdate
+	pre, err := overflow.SymmetricStepTime(model, node, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Software = pcie.PostUpdate
+	post, err := overflow.SymmetricStepTime(model, node, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overflow DLRF6-Large symmetric: pre %.3f, post %.3f s/step (gain %+.1f%%); vs host-only %.3f (%.2fx)\n",
+		pre.Seconds(), post.Seconds(), (pre.Seconds()/post.Seconds()-1)*100,
+		hostOnly.Seconds(), hostOnly.Seconds()/post.Seconds())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

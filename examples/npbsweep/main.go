@@ -1,0 +1,74 @@
+// npbsweep reproduces the paper's NPB study interactively: the OpenMP
+// thread-placement sweep of Figure 19 and the MPI rank sweep of
+// Figure 20, including FT's out-of-memory failure on the Phi.
+//
+// Run with:
+//
+//	go run ./examples/npbsweep
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/npb"
+)
+
+func main() {
+	model := core.DefaultModel()
+	node := machine.NewNode()
+
+	fmt.Println("NPB class C, OpenMP (Gflop/s): host 16t vs Phi at 1-4 threads/core")
+	for _, b := range npb.Fig19Benchmarks() {
+		host, phi, err := npb.OMPThreadSweep(model, b, npb.ClassC, node)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := npb.BestPhi(phi)
+		verdict := "host wins"
+		if best.Gflops > host.Gflops {
+			verdict = "PHI WINS"
+		}
+		fmt.Printf("  %-3v host %6.1f | phi 59t %6.1f  118t %6.1f  177t %6.1f  236t %6.1f | best@%dt/core (%s)\n",
+			b, host.Gflops, phi[0].Gflops, phi[1].Gflops, phi[2].Gflops, phi[3].Gflops,
+			best.Partition.ThreadsPerCore, verdict)
+	}
+
+	fmt.Println("\nNPB class C, MPI (Gflop/s): Phi rank counts per the paper's constraints")
+	for _, b := range []npb.Benchmark{npb.CG, npb.MG, npb.FT, npb.LU} {
+		sweep(model, node, b, []int{64, 128})
+	}
+	for _, b := range []npb.Benchmark{npb.BT, npb.SP} {
+		sweep(model, node, b, []int{64, 121, 169, 225})
+	}
+
+	fmt.Println("\nwhy FT fails: the paper says it needs ~10 GB but the card has 8 GB:")
+	mem, err := npb.MemoryBytes(npb.FT, npb.ClassC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  modeled FT.C footprint: %.1f GB (5 complex arrays of 512^3)\n", float64(mem)/(1<<30))
+}
+
+func sweep(model core.Model, node *machine.Node, b npb.Benchmark, ranks []int) {
+	host, err := npb.MPIRun(model, b, npb.ClassC, machine.Host, 16, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-3v host(16) %6.1f |", b, host.Gflops)
+	for _, r := range ranks {
+		res, err := npb.MPIRun(model, b, npb.ClassC, machine.Phi0, r, node)
+		if errors.Is(err, npb.ErrOOM) {
+			fmt.Printf(" phi(%d) OOM |", r)
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" phi(%d) %6.1f |", r, res.Gflops)
+	}
+	fmt.Println()
+}

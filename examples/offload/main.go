@@ -1,0 +1,70 @@
+// offload is a tuning study of the offload programming mode (Sections
+// 6.7 and 6.9.1.4-6.9.1.7): how granularity decides whether offloading
+// pays, and what each invocation costs.
+//
+// Run with:
+//
+//	go run ./examples/offload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/npb"
+	"maia/internal/offload"
+	"maia/internal/pcie"
+	"maia/internal/vclock"
+)
+
+func main() {
+	node := machine.NewNode()
+	model := core.DefaultModel()
+
+	// The raw pipe: offload-mode PCIe bandwidth vs transfer size
+	// (Figure 18), including the packet-framing ceiling.
+	dma := pcie.DefaultDMAConfig()
+	fmt.Println("offload PCIe bandwidth (host -> Phi0):")
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20, 64 << 20} {
+		fmt.Printf("  %8d B: %5.2f GB/s\n", size, pcie.OffloadBandwidth(dma, pcie.HostPhi0, size))
+	}
+	fmt.Printf("framing ceiling: %.1f GB/s at 128 B payloads (%.0f%% efficiency)\n",
+		8.0*pcie.PacketEfficiency(128), 100*pcie.PacketEfficiency(128))
+
+	// Granularity: moving the same data in many small offloads vs one
+	// large one.
+	const total = 256 << 20
+	for _, pieces := range []int{1, 16, 256, 4096} {
+		eng := offload.NewEngine(offload.DefaultConfig())
+		var sum vclock.Time
+		for i := 0; i < pieces; i++ {
+			t, err := eng.Offload(int64(total/pieces), int64(total/pieces), 0, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += t
+		}
+		fmt.Printf("  %4d offloads of %s: total %v\n", pieces, mb(total/pieces), sum)
+	}
+
+	// The paper's experiment: NPB MG offloaded at three granularities
+	// (Figures 25-27), with the OFFLOAD_REPORT-style ledger.
+	fmt.Println("\nMG class C offload variants:")
+	for _, v := range npb.MGOffloadVariants() {
+		r, err := npb.MGOffload(model, npb.ClassC, node, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28v %6.2f GF | %s\n", v, r.Gflops, r.Report)
+	}
+	fmt.Println("=> granularity decides everything: offload the whole computation or stay native.")
+}
+
+func mb(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%d MB", b>>20)
+	}
+	return fmt.Sprintf("%d KB", b>>10)
+}

@@ -1,0 +1,77 @@
+// Quickstart: build the simulated Maia node, measure its memory system,
+// and price one benchmark (NPB MG, whose kernel really runs first) in
+// three of the paper's programming modes — native host, native Phi, and
+// offload. (examples/cfd covers the fourth, symmetric mode.)
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/memsim"
+	"maia/internal/npb"
+	"maia/internal/simomp"
+)
+
+func main() {
+	// 1. The machine: one Maia node — two Sandy Bridge sockets plus two
+	// Xeon Phi 5110P cards.
+	node := machine.NewNode()
+	fmt.Printf("node: %d host cores (%.0f GF peak) + %d x %d Phi cores (%.0f GF peak each)\n",
+		node.HostCores(), node.HostPeakGflops(),
+		node.Phis, node.PhiProc.Cores, node.PhiPeakGflops())
+
+	// 2. The memory system: STREAM triad, like the paper's Figure 4.
+	cfg := memsim.DefaultStreamConfig()
+	host := machine.HostPartition(node, 1)
+	phi := machine.PhiThreadsPartition(node, machine.Phi0, 118)
+	fmt.Printf("STREAM triad: host %.0f GB/s, Phi(118t) %.0f GB/s\n",
+		memsim.TriadBandwidth(host, cfg), memsim.TriadBandwidth(phi, cfg))
+
+	// ...and the kernels are real: run an actual triad.
+	a, b, c := make([]float64, 1<<16), make([]float64, 1<<16), make([]float64, 1<<16)
+	for i := range b {
+		b[i], c[i] = float64(i), 2.0
+	}
+	if err := memsim.Triad(a, b, c, 3.0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triad check: a[10] = %.0f (want 16)\n", a[10])
+
+	// 3. Run real NPB MG (small grid) through the OpenMP runtime: the
+	// multigrid kernel genuinely solves a Poisson problem.
+	team := simomp.NewTeam(simomp.New(machine.HostCoresPartition(node, 8, 1)))
+	res, err := npb.RunMG(32, 4, team, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MG V-cycle residuals (32^3 grid): %.3g -> %.3g over %d cycles\n",
+		res.ResidualNorms[0], res.ResidualNorms[len(res.ResidualNorms)-1],
+		len(res.ResidualNorms))
+
+	// 4. Price paper-scale runs (class C) with the execution model: the
+	// paper's central comparison in three modes.
+	model := core.DefaultModel()
+	hostRun, err := npb.OMPTime(model, npb.MG, npb.ClassC, host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phiRun, err := npb.OMPTime(model, npb.MG, npb.ClassC,
+		machine.PhiThreadsPartition(node, machine.Phi0, 177))
+	if err != nil {
+		log.Fatal(err)
+	}
+	off, err := npb.MGOffload(model, npb.ClassC, node, npb.OffloadWhole)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MG class C: native host %.1f GF | native Phi(177t) %.1f GF | offload(whole) %.1f GF\n",
+		hostRun.Gflops, phiRun.Gflops, off.Gflops)
+	fmt.Println("=> the Phi wins MG natively (bandwidth-bound, unit stride); offload drowns in PCIe transfers.")
+}

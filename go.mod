@@ -1,0 +1,3 @@
+module maia
+
+go 1.22

@@ -1,0 +1,81 @@
+package cart3d
+
+import (
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/simomp"
+	"maia/internal/vclock"
+)
+
+// Figure 21 driver: Cart3D on the OneraM6 wing (6 million cells), native
+// host (16 OpenMP threads) vs native Phi (59/118/177/236 threads).
+
+// OneraM6Cells is the paper's case size.
+const OneraM6Cells = 6_000_000
+
+// oneraM6Iters is the multigrid-accelerated steady-state iteration count
+// the per-run totals are normalized over.
+const oneraM6Iters = 250
+
+// OneraM6Workload characterizes Flowcart on the OneraM6 case: a
+// cell-centred FV Euler solver over a cut-cell Cartesian mesh.
+// "Cart3D is not heavily vectorized" (Section 7), and the cut-cell data
+// structures make its access pattern irregular — the combination that
+// leaves it latency-bound on the Phi, where 4 threads per core is the
+// optimum (Figure 21).
+func OneraM6Workload() core.Workload {
+	const flopsPerCellIter = 450
+	const bytesPerCellIter = 360
+	return core.Workload{
+		Name:             "Cart3D OneraM6",
+		Flops:            OneraM6Cells * flopsPerCellIter * oneraM6Iters,
+		Bytes:            OneraM6Cells * bytesPerCellIter * oneraM6Iters,
+		VecFraction:      0.35,
+		Stride:           core.GatherScatter,
+		Reuse:            0.40,
+		ParallelFraction: 0.998,
+	}
+}
+
+// Result is one Figure 21 datapoint.
+type Result struct {
+	Partition machine.Partition
+	Time      vclock.Time
+	Gflops    float64
+}
+
+// TimeOn prices the OneraM6 run on a partition: core-model compute plus
+// the per-iteration OpenMP region overheads of the flux/update loops.
+func TimeOn(m core.Model, part machine.Partition) Result {
+	w := OneraM6Workload()
+	rt := simomp.New(part)
+	const regionsPerIter = 8 // flux passes, update, reduction of the residual norm
+	perIter := vclock.Time(regionsPerIter-1)*rt.SyncOverhead(simomp.ParallelFor) +
+		rt.SyncOverhead(simomp.Reduction)
+	total := m.Time(w, part) + vclock.Time(oneraM6Iters)*perIter
+	return Result{
+		Partition: part,
+		Time:      total,
+		Gflops:    w.Flops / total.Seconds() / 1e9,
+	}
+}
+
+// Fig21 returns the host reference (16 threads) and the Phi thread sweep.
+func Fig21(m core.Model, node *machine.Node) (host Result, phi []Result) {
+	host = TimeOn(m, machine.HostPartition(node, 1))
+	for _, th := range []int{59, 118, 177, 236} {
+		phi = append(phi, TimeOn(m, machine.PhiThreadsPartition(node, machine.Phi0, th)))
+	}
+	return host, phi
+}
+
+// Best returns the highest-Gflops result of a sweep.
+func Best(rs []Result) Result {
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.Gflops > best.Gflops {
+			best = r
+		}
+	}
+	return best
+}

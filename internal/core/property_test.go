@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"maia/internal/machine"
+	"maia/internal/vclock"
+)
+
+// randomWorkload builds a valid workload from fuzz inputs.
+func randomWorkload(f, b uint32, vec, reuse, par uint8, stride uint8) Workload {
+	return Workload{
+		Name:             "fuzz",
+		Flops:            float64(f%1000+1) * 1e9,
+		Bytes:            float64(b%1000+1) * 1e9,
+		VecFraction:      float64(vec%101) / 100,
+		Stride:           StrideClass(stride % 3),
+		Reuse:            float64(reuse%101) / 100,
+		ParallelFraction: float64(par%100+1) / 100,
+	}
+}
+
+// Time is strictly positive and scales (weakly) monotonically with both
+// flops and bytes on every partition family.
+func TestTimeMonotoneInWork(t *testing.T) {
+	m := DefaultModel()
+	node := machine.NewNode()
+	parts := []machine.Partition{
+		machine.HostPartition(node, 1),
+		machine.HostPartition(node, 2),
+		machine.PhiThreadsPartition(node, machine.Phi0, 59),
+		machine.PhiThreadsPartition(node, machine.Phi0, 236),
+	}
+	f := func(fl, by uint32, vec, reuse, par, stride uint8) bool {
+		w := randomWorkload(fl, by, vec, reuse, par, stride)
+		bigger := w
+		bigger.Flops *= 2
+		bigger.Bytes *= 2
+		for _, p := range parts {
+			t1 := m.Time(w, p)
+			t2 := m.Time(bigger, p)
+			if t1 <= 0 || t2 < t1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fully parallel work is never slower on more cores of the same device.
+func TestTimeMonotoneInCores(t *testing.T) {
+	m := DefaultModel()
+	node := machine.NewNode()
+	f := func(fl, by uint32, vec, stride uint8, coresRaw uint8) bool {
+		w := randomWorkload(fl, by, vec, 0, 99, stride)
+		w.ParallelFraction = 1
+		c := int(coresRaw%15) + 1
+		small := machine.HostCoresPartition(node, c, 1)
+		big := machine.HostCoresPartition(node, c+1, 1)
+		return m.Time(w, big) <= m.Time(w, small)*vclock.Time(1.000001)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scale(k) multiplies flops and bytes; for fully parallel work the time
+// scales by exactly k.
+func TestTimeLinearInScale(t *testing.T) {
+	m := DefaultModel()
+	p := machine.HostPartition(machine.NewNode(), 1)
+	f := func(fl, by uint32, vec, stride uint8) bool {
+		w := randomWorkload(fl, by, vec, 0, 99, stride)
+		w.ParallelFraction = 1
+		t1 := m.Time(w, p).Seconds()
+		t3 := m.Time(w.Scale(3), p).Seconds()
+		rel := t3/t1 - 3
+		return rel < 1e-9 && rel > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// More cache reuse never makes a workload slower (capture only removes
+// traffic).
+func TestReuseNeverHurts(t *testing.T) {
+	m := DefaultModel()
+	node := machine.NewNode()
+	parts := []machine.Partition{
+		machine.HostPartition(node, 1),
+		machine.PhiThreadsPartition(node, machine.Phi0, 177),
+	}
+	f := func(fl, by uint32, vec, stride uint8, r1, r2 uint8) bool {
+		lo, hi := float64(r1%101)/100, float64(r2%101)/100
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w := randomWorkload(fl, by, vec, 0, 99, stride)
+		w.Reuse = lo
+		w2 := w
+		w2.Reuse = hi
+		for _, p := range parts {
+			if m.Time(w2, p) > m.Time(w, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Unit stride is never slower than gather/scatter, all else equal.
+func TestStridePenaltyOrdering(t *testing.T) {
+	m := DefaultModel()
+	node := machine.NewNode()
+	parts := []machine.Partition{
+		machine.HostPartition(node, 1),
+		machine.PhiThreadsPartition(node, machine.Phi0, 236),
+	}
+	f := func(fl, by uint32, vec, reuse uint8) bool {
+		w := randomWorkload(fl, by, vec, reuse, 99, 0)
+		w.Stride = Unit
+		wg := w
+		wg.Stride = GatherScatter
+		for _, p := range parts {
+			if m.Time(w, p) > m.Time(wg, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

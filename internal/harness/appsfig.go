@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/apps/cart3d"
+	"maia/internal/apps/overflow"
+	"maia/internal/pcie"
+	"maia/internal/textplot"
+)
+
+// Production-application figures (21, 22, 23).
+
+func init() {
+	register(Experiment{
+		ID:    "fig21",
+		Title: "Cart3D (OneraM6) on host and Phi",
+		Paper: "host ~2x the best Phi; Phi best at 4 threads/core (236 threads)",
+		Run:   runFig21,
+	})
+	register(Experiment{
+		ID:    "fig22",
+		Title: "OVERFLOW (DLRF6-Medium) native host and Phi, (ranks x threads)",
+		Paper: "host best 16x1, worst 1x16; Phi best 8x28, worst 4x14; best Phi 1.8x slower than best host",
+		Run:   runFig22,
+	})
+	register(Experiment{
+		ID:    "fig23",
+		Title: "OVERFLOW (DLRF6-Large) symmetric host+Phi0+Phi1, pre/post update",
+		Paper: "post-update gains 2-28%; 1.9x vs native host; still behind two plain hosts",
+		Run:   runFig23,
+	})
+}
+
+func runFig21(w io.Writer, env Env) error {
+	host, phi := cart3d.Fig21(env.Model, env.Node)
+	t := textplot.NewTable("configuration", "Gflop/s", "time/iter")
+	iterT := func(r cart3d.Result) string {
+		return (r.Time / 250).String()
+	}
+	t.Row("host 16 threads", fmt.Sprintf("%.1f", host.Gflops), iterT(host))
+	for _, r := range phi {
+		t.Row(fmt.Sprintf("Phi %d threads", r.Partition.Threads()),
+			fmt.Sprintf("%.1f", r.Gflops), iterT(r))
+	}
+	best := cart3d.Best(phi)
+	_, err := fmt.Fprintf(w, "host / best Phi = %.2fx (best Phi at %d threads/core)\n",
+		host.Gflops/best.Gflops, best.Partition.ThreadsPerCore)
+	if err != nil {
+		return err
+	}
+	return t.Fprint(w)
+}
+
+func runFig22(w io.Writer, env Env) error {
+	host, phi, err := overflow.Fig22(env.Model, env.Node)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("configuration", "s/step")
+	for _, c := range overflow.HostCombos() {
+		t.Row("host "+c.String(), fmt.Sprintf("%.3f", host[c].Seconds()))
+	}
+	for _, c := range overflow.PhiCombos() {
+		t.Row("Phi0 "+c.String(), fmt.Sprintf("%.3f", phi[c].Seconds()))
+	}
+	return t.Fprint(w)
+}
+
+func runFig23(w io.Writer, env Env) error {
+	hostOnly, err := overflow.HostOnlyStepTime(env.Model, env.Node)
+	if err != nil {
+		return err
+	}
+	twoHosts, err := overflow.TwoHostsStepTime(env.Model, env.Node)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("configuration", "pre-update s/step", "post-update s/step", "gain")
+	combos := []overflow.Combo{{Ranks: 4, Threads: 14}, {Ranks: 8, Threads: 14},
+		{Ranks: 4, Threads: 28}, {Ranks: 8, Threads: 28}}
+	if env.Quick {
+		combos = combos[2:]
+	}
+	var bestPost float64
+	for _, pc := range combos {
+		pre, err := overflow.SymmetricStepTime(env.Model, env.Node, overflow.SymmetricConfig{
+			HostCombo: overflow.Combo{Ranks: 16, Threads: 1}, PhiCombo: pc, Software: pcie.PreUpdate})
+		if err != nil {
+			return err
+		}
+		post, err := overflow.SymmetricStepTime(env.Model, env.Node, overflow.SymmetricConfig{
+			HostCombo: overflow.Combo{Ranks: 16, Threads: 1}, PhiCombo: pc, Software: pcie.PostUpdate})
+		if err != nil {
+			return err
+		}
+		if bestPost == 0 || post.Seconds() < bestPost {
+			bestPost = post.Seconds()
+		}
+		t.Row("host 16x1 + 2 Phi "+pc.String(),
+			fmt.Sprintf("%.3f", pre.Seconds()), fmt.Sprintf("%.3f", post.Seconds()),
+			fmt.Sprintf("%+.1f%%", (pre.Seconds()/post.Seconds()-1)*100))
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"native host only: %.3f s/step (best symmetric %.2fx faster); two hosts: %.3f s/step\n",
+		hostOnly.Seconds(), hostOnly.Seconds()/bestPost, twoHosts.Seconds())
+	return err
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/apps/overflow"
+	"maia/internal/iosim"
+	"maia/internal/machine"
+	"maia/internal/memsim"
+	"maia/internal/npb"
+	"maia/internal/pcie"
+	"maia/internal/simomp"
+	"maia/internal/textplot"
+)
+
+// Extension experiments: follow-ups the paper's conclusions point toward
+// but does not measure. They are marked ext-* and sort after the
+// reproduced figures.
+
+func init() {
+	register(Experiment{
+		ID:    "ext-offload-pipeline",
+		Title: "EXTENSION: double-buffered (signal/wait) offload for MG",
+		Paper: "not in the paper; its conclusion asks for granularity/overhead mitigation — this is the async-offload answer",
+		Run:   runExtOffloadPipeline,
+	})
+	register(Experiment{
+		ID:    "ext-checkpoint",
+		Title: "EXTENSION: checkpointing a 2 GB solution file per device",
+		Paper: "quantifies Section 6.6's warning for checkpointing codes, with the ship-to-host workaround",
+		Run:   runExtCheckpoint,
+	})
+	register(Experiment{
+		ID:    "ext-profile",
+		Title: "EXTENSION: MPInside-style profile of symmetric OVERFLOW",
+		Paper: "quantifies Section 6.9.1.3: compute balance and MPI share behind the symmetric-mode result",
+		Run:   runExtProfile,
+	})
+	register(Experiment{
+		ID:    "ext-tasks",
+		Title: "EXTENSION: OpenMP task overheads on host and Phi",
+		Paper: "the EPCC task suites the paper cites ([22],[24]); tasks follow Figure 15's ~10x pattern",
+		Run:   runExtTasks,
+	})
+	register(Experiment{
+		ID:    "ext-stride",
+		Title: "EXTENSION: measured stride derates from the cache simulator",
+		Paper: "backs the execution model's stride factors with simulated line-waste measurements",
+		Run:   runExtStride,
+	})
+}
+
+func runExtOffloadPipeline(w io.Writer, env Env) error {
+	sync, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, npb.OffloadSubroutine)
+	if err != nil {
+		return err
+	}
+	pipe, err := npb.MGOffloadPipelined(env.Model, npb.ClassC, env.Node)
+	if err != nil {
+		return err
+	}
+	native, err := npb.OMPTime(env.Model, npb.MG, npb.ClassC,
+		machine.PhiThreadsPartition(env.Node, machine.Phi0, 177))
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("schedule", "Gflop/s", "time")
+	t.Row("synchronous offload (subroutine)", fmt.Sprintf("%.2f", sync.Gflops), sync.Time)
+	t.Row("pipelined offload (subroutine)", fmt.Sprintf("%.2f", pipe.Gflops), pipe.Time)
+	t.Row("native Phi (177t), for scale", fmt.Sprintf("%.2f", native.Gflops), native.Time)
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "pipelining buys %.2fx but PCIe volume still caps offload below native\n",
+		sync.Time.Seconds()/pipe.Time.Seconds())
+	return err
+}
+
+func runExtCheckpoint(w io.Writer, env Env) error {
+	stack := pcie.NewStack(pcie.PostUpdate)
+	const solution = 2 << 30
+	t := textplot.NewTable("device", "native write", "ship-to-host workaround")
+	for _, dev := range []machine.Device{machine.Host, machine.Phi0, machine.Phi1} {
+		native, workaround, err := iosim.CheckpointTime(stack, dev, solution, 4<<20)
+		if err != nil {
+			return err
+		}
+		t.Row(dev, native, workaround)
+	}
+	return t.Fprint(w)
+}
+
+func runExtProfile(w io.Writer, env Env) error {
+	t := textplot.NewTable("configuration", "makespan", "compute balance", "mean MPI", "max MPI")
+	for _, sw := range []pcie.Software{pcie.PreUpdate, pcie.PostUpdate} {
+		tt, prof, err := overflow.SymmetricStepProfile(env.Model, env.Node, overflow.SymmetricConfig{
+			HostCombo: overflow.Combo{Ranks: 16, Threads: 1},
+			PhiCombo:  overflow.Combo{Ranks: 8, Threads: 28},
+			Software:  sw,
+		})
+		if err != nil {
+			return err
+		}
+		t.Row(fmt.Sprintf("host 16x1 + 2 Phi 8x28, %v", sw),
+			tt, fmt.Sprintf("%.2f", prof.ComputeBalance), prof.MeanMPI, prof.MaxMPI)
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w,
+		"compute balance > 1 is the load-imbalance overhead; MPI columns the communication overhead")
+	return err
+}
+
+func runExtTasks(w io.Writer, env Env) error {
+	host := simomp.New(machine.HostPartition(env.Node, 1))
+	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
+	t := textplot.NewTable("tasks", "host us/task", "Phi us/task", "ratio")
+	for _, n := range []int{64, 256, 1024} {
+		h := simomp.MeasureTaskOverhead(host, n).Microseconds()
+		p := simomp.MeasureTaskOverhead(phi, n).Microseconds()
+		t.Row(n, fmt.Sprintf("%.2f", h), fmt.Sprintf("%.2f", p), fmt.Sprintf("%.1fx", p/h))
+	}
+	return t.Fprint(w)
+}
+
+func runExtStride(w io.Writer, env Env) error {
+	t := textplot.NewTable("stride (bytes)", "host derate", "Phi derate")
+	strides := []int{16, 32, 64}
+	if env.Quick {
+		strides = []int{32}
+	}
+	for _, s := range strides {
+		t.Row(s,
+			fmt.Sprintf("%.3f", memsim.StrideDerate(machine.SandyBridge(), s)),
+			fmt.Sprintf("%.3f", memsim.StrideDerate(machine.XeonPhi5110P(), s)))
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	hostH := memsim.MustHierarchy(machine.SandyBridge())
+	phiH := memsim.MustHierarchy(machine.XeonPhi5110P())
+	_, err := fmt.Fprintf(w, "random gather (DRAM-resident, 8 B elems): host %.3f GB/s, Phi %.3f GB/s (latency-bound)\n",
+		memsim.GatherLatencyBound(hostH, 64<<20, 8, 1),
+		memsim.GatherLatencyBound(phiH, 16<<20, 8, 1))
+	return err
+}

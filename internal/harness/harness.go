@@ -1,0 +1,117 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section 6). Each Experiment prints the same rows or series
+// the paper reports, computed from this repository's simulated Maia
+// system; EXPERIMENTS.md records the paper-vs-measured comparison.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"maia/internal/core"
+	"maia/internal/machine"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the handle used by cmd/maiabench ("table1", "fig4", ...).
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Paper summarizes what the paper measured (the expectation).
+	Paper string
+	// Run computes the experiment and writes its rows.
+	Run func(w io.Writer, env Env) error
+}
+
+// Env carries the modeled system every experiment runs against.
+type Env struct {
+	Model core.Model
+	Node  *machine.Node
+	// Quick trims sweep densities so the full suite stays fast (used by
+	// tests); the printed shape is unchanged.
+	Quick bool
+}
+
+// DefaultEnv returns the calibrated environment.
+func DefaultEnv() Env {
+	return Env{Model: core.DefaultModel(), Node: machine.NewNode()}
+}
+
+// registry is populated by the per-area files' init functions.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment in presentation order (table1, then
+// figures by number).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts "table1" first, then figN numerically, then the
+// extension experiments (ext-*) alphabetically at the end.
+func orderKey(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return n
+	}
+	if id == "table1" {
+		return -1
+	}
+	// Extensions: stable order by first letter after "ext-".
+	if len(id) > 4 && id[:4] == "ext-" {
+		return 1000 + int(id[4])
+	}
+	return 500
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, env Env) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper); err != nil {
+			return err
+		}
+		if err := e.Run(w, env); err != nil {
+			return fmt.Errorf("harness: %s: %w", e.ID, err)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sizesUpTo returns a 1 B .. max sweep in multiplicative steps of 4
+// (of 16 in Quick mode).
+func sizesUpTo(env Env, max int) []int {
+	step := 4
+	if env.Quick {
+		step = 16
+	}
+	var out []int
+	for s := 1; s <= max; s *= step {
+		out = append(out, s)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}

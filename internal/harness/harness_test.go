@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickEnv() Env {
+	env := DefaultEnv()
+	env.Quick = true
+	return env
+}
+
+// Every registered experiment runs without error and produces output.
+func TestAllExperimentsRun(t *testing.T) {
+	env := quickEnv()
+	for _, e := range All() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, env); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+}
+
+// The registry covers Table 1 and Figures 4 through 27 without gaps.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1"}
+	for f := 4; f <= 27; f++ {
+		want = append(want, "fig"+itoa(f))
+	}
+	want = append(want, "report", "ext-offload-pipeline", "ext-checkpoint", "ext-profile", "ext-stride", "ext-tasks")
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+// Presentation order: table1 first, figures ascending, extensions last.
+func TestAllOrdered(t *testing.T) {
+	all := All()
+	if all[0].ID != "table1" {
+		t.Fatalf("first experiment is %s, want table1", all[0].ID)
+	}
+	prev := -1
+	for _, e := range all[1:] {
+		k := orderKey(e.ID)
+		if k <= prev {
+			t.Fatalf("experiments out of order at %s", e.ID)
+		}
+		prev = k
+	}
+	if last := all[len(all)-1].ID; len(last) < 4 || last[:4] != "ext-" {
+		t.Fatalf("extensions must sort last, got %s", last)
+	}
+}
+
+func TestByIDMissing(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+}
+
+// Spot-check key numbers in the experiments' printed output.
+func TestOutputSpotChecks(t *testing.T) {
+	env := quickEnv()
+	cases := []struct {
+		id       string
+		contains []string
+	}{
+		// The paper quotes 301.4 TF total from a rounded 258.8 TF Phi
+		// peak; 15360 cores x 16.8 GF is exactly 258.048, so the
+		// arithmetically consistent total is 300.6.
+		{"table1", []string{"20.8", "16.8", "1008", "300.6"}},
+		{"fig4", []string{"180.0", "140.0"}},
+		{"fig5", []string{"81.0", "295.0"}},
+		{"fig7", []string{"3.3", "4.6", "6.6"}},
+		{"fig14", []string{"OOM"}},
+		{"fig15", []string{"REDUCTION", "ATOMIC"}},
+		{"fig16", []string{"STATIC", "DYNAMIC", "GUIDED"}},
+		{"fig17", []string{"210", "295"}},
+		{"fig20", []string{"OOM (8 GB card)"}},
+		{"fig24", []string{"host 16t", "-"}},
+		{"fig25", []string{"native host (16t)", "offload whole computation"}},
+		{"fig27", []string{"invocations"}},
+	}
+	for _, c := range cases {
+		e, ok := ByID(c.id)
+		if !ok {
+			t.Errorf("%s missing", c.id)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, env); err != nil {
+			t.Errorf("%s: %v", c.id, err)
+			continue
+		}
+		out := buf.String()
+		for _, want := range c.contains {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q:\n%s", c.id, want, out)
+			}
+		}
+	}
+}
+
+// RunAll stitches every experiment together with headers.
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, quickEnv()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== table1", "== fig4", "== fig27", "paper:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+// Experiments are deterministic: two runs produce identical bytes.
+func TestExperimentsDeterministic(t *testing.T) {
+	env := quickEnv()
+	for _, id := range []string{"fig8", "fig10", "fig13", "fig22"} {
+		e, _ := ByID(id)
+		var a, b bytes.Buffer
+		if err := e.Run(&a, env); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(&b, env); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s is nondeterministic", id)
+		}
+	}
+}

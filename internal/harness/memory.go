@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/machine"
+	"maia/internal/memsim"
+	"maia/internal/textplot"
+)
+
+// Table 1 and the memory-subsystem figures (4, 5, 6).
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Characteristics of Maia, SGI Rackable system",
+		Paper: "host 20.8 GF/core & 166.4 GF/socket; Phi 16.8 GF/core & 1008 GF; system 301.4 TF",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "STREAM triad bandwidth for host and Phi",
+		Paper: "Phi peaks at 180 GB/s (59/118 threads), drops to 140 GB/s beyond 118; host ~76 GB/s",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Memory load latency for host and Phi",
+		Paper: "host 1.5/4.6/15/81 ns (L1/L2/L3/mem); Phi 2.9/22.9/295 ns (L1/L2/mem)",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Read/write memory bandwidth per core",
+		Paper: "host R 12.6/12.3/11.6/7.5, W 10.4/9.5/8.6/7.2 GB/s; Phi R 1.68/0.97/0.50, W 1.54/0.96/0.26",
+		Run:   runFig6,
+	})
+}
+
+func runTable1(w io.Writer, env Env) error {
+	n := env.Node
+	sys := machine.NewSystem()
+	host, phi := n.HostProc, n.PhiProc
+	t := textplot.NewTable("characteristic", "host (per socket)", "coprocessor (per card)")
+	t.Row("Processor type", host.Name, phi.Name)
+	t.Row("Architecture", host.Architecture, phi.Architecture)
+	t.Row("Cores", host.Cores, phi.Cores)
+	t.Row("Base frequency (GHz)", host.BaseGHz, phi.BaseGHz)
+	t.Row("Floating points/clock", host.FlopsPerClock, phi.FlopsPerClock)
+	t.Row("Perf/core (Gflop/s)", host.PeakGflopsPerCore(), phi.PeakGflopsPerCore())
+	t.Row("Proc perf (Gflop/s)", host.PeakGflops(), phi.PeakGflops())
+	t.Row("SIMD width (bits)", host.SIMDWidthBits, phi.SIMDWidthBits)
+	t.Row("Threads/core", host.ThreadsPerCore, phi.ThreadsPerCore)
+	t.Row("Multithreading", host.MT, phi.MT)
+	t.Row("L1 cache/core", "32 KB(I)+32 KB(D)", "32 KB(I)+32 KB(D)")
+	t.Row("L2 cache/core (KB)", 256, 512)
+	t.Row("L3 cache (MB, shared)", 20, "-")
+	t.Row("Memory type", host.MemTechnology, phi.MemTechnology)
+	t.Row("Memory peak BW (GB/s)", host.MemPeakGBs, phi.MemPeakGBs)
+	t.Row("Memory/device (GB)", n.HostMemGB, phi.MemGB)
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	hostTF, phiTF, totalTF := sys.PeakTflops()
+	_, err := fmt.Fprintf(w,
+		"system: %d nodes, %d host cores (%.1f TF) + %d Phi cores (%.1f TF) = %.1f TF peak, %d GB memory\n",
+		sys.Nodes, sys.TotalHostCores(), hostTF, sys.TotalPhiCores(), phiTF, totalTF,
+		sys.Nodes*sys.Node.MemGB())
+	return err
+}
+
+func runFig4(w io.Writer, env Env) error {
+	cfg := memsim.DefaultStreamConfig()
+	hostThreads := []int{1, 2, 4, 8, 12, 16}
+	phiThreads := []int{1, 15, 30, 59, 90, 118, 150, 177, 200, 236}
+	t := textplot.NewTable("threads", "host triad GB/s", "Phi0 triad GB/s")
+	hostPts := memsim.StreamCurve(env.Node, machine.Host, hostThreads, cfg)
+	phiPts := memsim.StreamCurve(env.Node, machine.Phi0, phiThreads, cfg)
+	n := len(phiPts)
+	var phiYs []float64
+	for i := 0; i < n; i++ {
+		hostCell := "-"
+		if i < len(hostPts) {
+			hostCell = fmt.Sprintf("%.1f", hostPts[i].TriadGBs)
+		}
+		t.Row(fmt.Sprint(phiPts[i].Threads), hostCell, fmt.Sprintf("%.1f", phiPts[i].TriadGBs))
+		phiYs = append(phiYs, phiPts[i].TriadGBs)
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	chart := textplot.NewChart(8).
+		Series("Phi0 triad GB/s", phiYs).
+		XRange("1 thread", "236 threads").
+		Render()
+	_, err := io.WriteString(w, chart)
+	return err
+}
+
+func runFig5(w io.Writer, env Env) error {
+	// The host's DRAM plateau starts past its 20 MB L3, so the sweep must
+	// reach well beyond it even in quick mode.
+	minWS := 4 << 10
+	maxWS := 64 << 20
+	if env.Quick {
+		minWS = 1 << 20
+	}
+	host := memsim.LatencyCurve(env.Node.HostProc, minWS, maxWS)
+	phi := memsim.LatencyCurve(env.Node.PhiProc, minWS, maxWS)
+	t := textplot.NewTable("working set", "host ns", "Phi ns")
+	for i := range host {
+		t.Row(byteLabel(host[i].WorkingSetBytes),
+			fmt.Sprintf("%.1f", host[i].LatencyNs),
+			fmt.Sprintf("%.1f", phi[i].LatencyNs))
+	}
+	return t.Fprint(w)
+}
+
+func runFig6(w io.Writer, env Env) error {
+	maxWS := 64 << 20
+	if env.Quick {
+		maxWS = 4 << 20
+	}
+	host := memsim.BandwidthCurve(env.Node.HostProc, 4<<10, maxWS)
+	phi := memsim.BandwidthCurve(env.Node.PhiProc, 4<<10, maxWS)
+	t := textplot.NewTable("working set", "host R GB/s", "host W GB/s", "Phi R GB/s", "Phi W GB/s")
+	for i := range host {
+		t.Row(byteLabel(host[i].WorkingSetBytes),
+			fmt.Sprintf("%.2f", host[i].ReadGBs), fmt.Sprintf("%.2f", host[i].WriteGBs),
+			fmt.Sprintf("%.3f", phi[i].ReadGBs), fmt.Sprintf("%.3f", phi[i].WriteGBs))
+	}
+	return t.Fprint(w)
+}
+
+// byteLabel formats a byte count compactly (4KB, 2MB, ...).
+func byteLabel(b int) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

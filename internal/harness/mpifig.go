@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/machine"
+	"maia/internal/simmpi"
+	"maia/internal/textplot"
+	"maia/internal/vclock"
+)
+
+// Intra-device MPI function figures (10-14).
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Title: "MPI_Send/Recv ring bandwidth on host and Phi",
+		Paper: "host(16) over Phi(1t/core) by 1.3-3.5x; over Phi(4t/core) by 24-54x",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "MPI_Bcast on host and Phi",
+		Paper: "host over Phi0(1t/core) by 1.1-3.8x; more threads/core degrade sharply",
+		Run:   collectiveFig(simmpi.BcastKind),
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "MPI_Allreduce on host and Phi",
+		Paper: "host over Phi0 by 2.2-13.4x (1t/core), 28-104x (4t/core)",
+		Run:   collectiveFig(simmpi.AllreduceKind),
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "MPI_Allgather on host and Phi",
+		Paper: "abrupt jump at 2-4KB (algorithm switch); host over Phi by 2.6-17.1x / 68-1146x",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "MPI_AlltoAll on host and Phi",
+		Paper: "4t/core runs only to 4KB (out of memory); host over Phi by 8-20x / 1003-2603x",
+		Run:   runFig14,
+	})
+}
+
+// phiRingConfigs are the paper's four threads-per-core settings.
+var phiRingConfigs = []struct {
+	ranks, tpc int
+}{{59, 1}, {118, 2}, {177, 3}, {236, 4}}
+
+func runFig10(w io.Writer, env Env) error {
+	iters := 3
+	if env.Quick {
+		iters = 1
+	}
+	t := textplot.NewTable("msg size", "host 16", "Phi 59(1t)", "Phi 118(2t)", "Phi 177(3t)", "Phi 236(4t)")
+	for _, m := range sizesUpTo(env, 1<<20) {
+		row := []interface{}{byteLabel(m)}
+		bw, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, m, iters)
+		if err != nil {
+			return err
+		}
+		row = append(row, gbs(bw))
+		for _, c := range phiRingConfigs {
+			bw, err := simmpi.RingBandwidth(
+				simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc)}, m, iters)
+			if err != nil {
+				return err
+			}
+			row = append(row, gbs(bw))
+		}
+		t.Row(row...)
+	}
+	return t.Fprint(w)
+}
+
+// collectiveFig builds the Figure 11/12 runner for one collective.
+func collectiveFig(kind simmpi.CollectiveKind) func(io.Writer, Env) error {
+	return func(w io.Writer, env Env) error {
+		return runCollective(w, env, kind, 256<<10, nil)
+	}
+}
+
+func runFig13(w io.Writer, env Env) error {
+	// The sweep tops out at 8 KB: the algorithm-switch jump sits at
+	// 2-4 KB, and a 236-rank allgather's receive buffer grows with
+	// ranks x message size.
+	return runCollective(w, env, simmpi.AllgatherKind, 8<<10, nil)
+}
+
+func runFig14(w io.Writer, env Env) error {
+	feasible := func(dev machine.Device, ranks, m int) bool {
+		return simmpi.AlltoallFeasible(dev, machine.NewNode(), ranks, m)
+	}
+	return runCollective(w, env, simmpi.AlltoallKind, 256<<10, feasible)
+}
+
+// runCollective prints per-op times for host(16) and the four Phi
+// configurations across a size sweep. feasible, when non-nil, gates each
+// cell with the device-memory model and prints OOM for infeasible runs
+// (Figure 14's failures).
+func runCollective(w io.Writer, env Env, kind simmpi.CollectiveKind, maxBytes int,
+	feasible func(dev machine.Device, ranks, m int) bool) error {
+	iters := 2
+	if env.Quick {
+		iters = 1
+	}
+	phiConfigs := []struct {
+		ranks, tpc int
+	}{{64, 1}, {128, 2}, {236, 4}}
+	header := []string{"msg size", "host 16"}
+	for _, c := range phiConfigs {
+		header = append(header, fmt.Sprintf("Phi %d(%dt)", c.ranks, c.tpc))
+	}
+	t := textplot.NewTable(header...)
+	for _, m := range sizesUpTo(env, maxBytes) {
+		row := []interface{}{byteLabel(m)}
+		ht, err := simmpi.CollectiveTime(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, kind, m, iters)
+		if err != nil {
+			return err
+		}
+		row = append(row, ht.String())
+		for _, c := range phiConfigs {
+			if feasible != nil && !feasible(machine.Phi0, c.ranks, m) {
+				row = append(row, "OOM")
+				continue
+			}
+			pt, err := simmpi.CollectiveTime(
+				simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc)}, kind, m, iters)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%v (%.0fx)", pt, pt.Seconds()/vclock.Max(ht, vclock.Nanosecond).Seconds()))
+		}
+		t.Row(row...)
+	}
+	return t.Fprint(w)
+}

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"maia/internal/machine"
+	"maia/internal/npb"
+	"maia/internal/textplot"
+)
+
+// NPB figures (19, 20, 24, 25, 26, 27).
+
+func init() {
+	register(Experiment{
+		ID:    "fig19",
+		Title: "NPB OpenMP class C on host and Phi",
+		Paper: "host wins everything but MG; 3 threads/core usually best; BT best and CG worst on Phi",
+		Run:   runFig19,
+	})
+	register(Experiment{
+		ID:    "fig20",
+		Title: "NPB MPI class C on host and Phi",
+		Paper: "FT does not fit the Phi's 8 GB (needs ~10 GB); threads/core optimum varies per benchmark",
+		Run:   runFig20,
+	})
+	register(Experiment{
+		ID:    "fig24",
+		Title: "OpenMP loop collapse gain for MG on Phi",
+		Paper: "collapse gains 25-28% on Phi, loses ~1% on host(16t); 59/118/177/236 beat 60/120/180/240",
+		Run:   runFig24,
+	})
+	register(Experiment{
+		ID:    "fig25",
+		Title: "MG in native host, native Phi, and offload modes",
+		Paper: "host 23.5 GF (16t), HT 22.2 GF (32t), Phi 29.9 GF (177t); all offload variants far lower",
+		Run:   runFig25,
+	})
+	register(Experiment{
+		ID:    "fig26",
+		Title: "Overhead of the three MG offload versions",
+		Paper: "host setup+gather / PCIe transfer / Phi setup+scatter; loop version worst",
+		Run:   runFig26,
+	})
+	register(Experiment{
+		ID:    "fig27",
+		Title: "Offload invocations and data volume of the three MG versions",
+		Paper: "loop version: most invocations and data; whole-computation: least",
+		Run:   runFig27,
+	})
+}
+
+func runFig19(w io.Writer, env Env) error {
+	t := textplot.NewTable("bench", "host 16t GF",
+		"Phi 59t", "Phi 118t", "Phi 177t", "Phi 236t", "host/bestPhi")
+	for _, b := range npb.Fig19Benchmarks() {
+		host, phi, err := npb.OMPThreadSweep(env.Model, b, npb.ClassC, env.Node)
+		if err != nil {
+			return err
+		}
+		best := npb.BestPhi(phi)
+		t.Row(b, fmt.Sprintf("%.1f", host.Gflops),
+			fmt.Sprintf("%.1f", phi[0].Gflops), fmt.Sprintf("%.1f", phi[1].Gflops),
+			fmt.Sprintf("%.1f", phi[2].Gflops), fmt.Sprintf("%.1f", phi[3].Gflops),
+			fmt.Sprintf("%.2fx", host.Gflops/best.Gflops))
+	}
+	return t.Fprint(w)
+}
+
+func runFig20(w io.Writer, env Env) error {
+	t := textplot.NewTable("bench", "ranks", "host GF", "Phi0 GF")
+	run := func(b npb.Benchmark, hostRanks int, phiRanks []int) error {
+		host, err := npb.MPIRun(env.Model, b, npb.ClassC, machine.Host, hostRanks, env.Node)
+		if err != nil {
+			return err
+		}
+		for i, ranks := range phiRanks {
+			hostCell := "-"
+			if i == 0 {
+				hostCell = fmt.Sprintf("%.1f (%d ranks)", host.Gflops, hostRanks)
+			}
+			phi, err := npb.MPIRun(env.Model, b, npb.ClassC, machine.Phi0, ranks, env.Node)
+			if errors.Is(err, npb.ErrOOM) {
+				t.Row(b, ranks, hostCell, "OOM (8 GB card)")
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			t.Row(b, ranks, hostCell, fmt.Sprintf("%.1f", phi.Gflops))
+		}
+		return nil
+	}
+	pow2 := []int{64, 128}
+	squares := []int{64, 121, 169, 225}
+	if env.Quick {
+		pow2 = []int{64}
+		squares = []int{64, 121}
+	}
+	for _, b := range []npb.Benchmark{npb.CG, npb.MG, npb.FT, npb.LU} {
+		if err := run(b, 16, pow2); err != nil {
+			return err
+		}
+	}
+	for _, b := range []npb.Benchmark{npb.BT, npb.SP} {
+		if err := run(b, 16, squares); err != nil {
+			return err
+		}
+	}
+	return t.Fprint(w)
+}
+
+func runFig24(w io.Writer, env Env) error {
+	t := textplot.NewTable("placement", "original GF", "collapsed GF", "gain")
+	threads := []int{59, 60, 118, 120, 177, 180, 236, 240}
+	if env.Quick {
+		threads = []int{59, 60, 236, 240}
+	}
+	for _, th := range threads {
+		part := machine.PhiThreadsPartition(env.Node, machine.Phi0, th)
+		g0, err := npb.MGCollapseGflops(env.Model, npb.ClassC, part, false)
+		if err != nil {
+			return err
+		}
+		g1, err := npb.MGCollapseGflops(env.Model, npb.ClassC, part, true)
+		if err != nil {
+			return err
+		}
+		t.Row(fmt.Sprintf("Phi %dt", th), fmt.Sprintf("%.1f", g0), fmt.Sprintf("%.1f", g1),
+			fmt.Sprintf("%+.1f%%", (g1/g0-1)*100))
+	}
+	hostPart := machine.HostPartition(env.Node, 1)
+	h0, err := npb.MGCollapseGflops(env.Model, npb.ClassC, hostPart, false)
+	if err != nil {
+		return err
+	}
+	h1, err := npb.MGCollapseGflops(env.Model, npb.ClassC, hostPart, true)
+	if err != nil {
+		return err
+	}
+	t.Row("host 16t", fmt.Sprintf("%.1f", h0), fmt.Sprintf("%.1f", h1),
+		fmt.Sprintf("%+.1f%%", (h1/h0-1)*100))
+	return t.Fprint(w)
+}
+
+func runFig25(w io.Writer, env Env) error {
+	t := textplot.NewTable("mode", "Gflop/s")
+	host, err := npb.OMPTime(env.Model, npb.MG, npb.ClassC, machine.HostPartition(env.Node, 1))
+	if err != nil {
+		return err
+	}
+	ht, err := npb.OMPTime(env.Model, npb.MG, npb.ClassC, machine.HostPartition(env.Node, 2))
+	if err != nil {
+		return err
+	}
+	t.Row("native host (16t)", fmt.Sprintf("%.1f", host.Gflops))
+	t.Row("native host HT (32t)", fmt.Sprintf("%.1f", ht.Gflops))
+	for _, th := range []int{59, 118, 177, 236} {
+		phi, err := npb.OMPTime(env.Model, npb.MG, npb.ClassC,
+			machine.PhiThreadsPartition(env.Node, machine.Phi0, th))
+		if err != nil {
+			return err
+		}
+		t.Row(fmt.Sprintf("native Phi (%dt)", th), fmt.Sprintf("%.1f", phi.Gflops))
+	}
+	for _, v := range npb.MGOffloadVariants() {
+		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v)
+		if err != nil {
+			return err
+		}
+		t.Row(v, fmt.Sprintf("%.2f", r.Gflops))
+	}
+	return t.Fprint(w)
+}
+
+func runFig26(w io.Writer, env Env) error {
+	t := textplot.NewTable("variant", "host side", "PCIe", "Phi side", "total overhead")
+	for _, v := range npb.MGOffloadVariants() {
+		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v)
+		if err != nil {
+			return err
+		}
+		t.Row(v, r.Report.HostTime, r.Report.TransferTime, r.Report.PhiTime, r.Report.Overhead())
+	}
+	return t.Fprint(w)
+}
+
+func runFig27(w io.Writer, env Env) error {
+	t := textplot.NewTable("variant", "invocations", "data in", "data out")
+	for _, v := range npb.MGOffloadVariants() {
+		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v)
+		if err != nil {
+			return err
+		}
+		t.Row(v, r.Report.Invocations,
+			byteLabel(int(r.Report.BytesIn)), byteLabel(int(r.Report.BytesOut)))
+	}
+	return t.Fprint(w)
+}

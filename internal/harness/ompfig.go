@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/iosim"
+	"maia/internal/machine"
+	"maia/internal/pcie"
+	"maia/internal/simomp"
+	"maia/internal/textplot"
+)
+
+// OpenMP micro-benchmark figures (15, 16) and the I/O figure (17).
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "OpenMP synchronization overhead on host and Phi",
+		Paper: "Phi ~10x host for every construct; REDUCTION dearest, ATOMIC cheapest",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "OpenMP scheduling overheads on host and Phi",
+		Paper: "STATIC < GUIDED < DYNAMIC; Phi ~10x host",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Sequential I/O bandwidth on host, Phi0, Phi1",
+		Paper: "host 210 W / 295 R MB/s; Phi ~80 W / 75 R MB/s (NFS over PCIe TCP/IP)",
+		Run:   runFig17,
+	})
+}
+
+func runFig15(w io.Writer, env Env) error {
+	host := simomp.New(machine.HostPartition(env.Node, 1))
+	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
+	t := textplot.NewTable("construct", "host (16t) us", "Phi0 (236t) us", "ratio")
+	for _, c := range simomp.Constructs() {
+		h := simomp.MeasureSyncOverhead(host, c).Microseconds()
+		p := simomp.MeasureSyncOverhead(phi, c).Microseconds()
+		t.Row(c, fmt.Sprintf("%.2f", h), fmt.Sprintf("%.2f", p), fmt.Sprintf("%.1fx", p/h))
+	}
+	return t.Fprint(w)
+}
+
+func runFig16(w io.Writer, env Env) error {
+	host := simomp.New(machine.HostPartition(env.Node, 1))
+	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
+	chunks := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	if env.Quick {
+		chunks = []int{1, 8, 64}
+	}
+	t := textplot.NewTable("schedule,chunk", "host (16t) us", "Phi0 (236t) us", "ratio")
+	for _, s := range simomp.Schedules() {
+		for _, chunk := range chunks {
+			h := simomp.MeasureSchedOverhead(host, s, chunk).Microseconds()
+			p := simomp.MeasureSchedOverhead(phi, s, chunk).Microseconds()
+			t.Row(fmt.Sprintf("%v,%d", s, chunk),
+				fmt.Sprintf("%.2f", h), fmt.Sprintf("%.2f", p), fmt.Sprintf("%.1fx", p/h))
+		}
+	}
+	return t.Fprint(w)
+}
+
+func runFig17(w io.Writer, env Env) error {
+	t := textplot.NewTable("block size",
+		"host W MB/s", "host R MB/s", "Phi0 W MB/s", "Phi0 R MB/s", "Phi1 W MB/s", "Phi1 R MB/s")
+	blocks := []int{4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20}
+	for _, b := range blocks {
+		t.Row(byteLabel(b),
+			fmt.Sprintf("%.0f", iosim.WriteBandwidthMBs(machine.Host, b)),
+			fmt.Sprintf("%.0f", iosim.ReadBandwidthMBs(machine.Host, b)),
+			fmt.Sprintf("%.0f", iosim.WriteBandwidthMBs(machine.Phi0, b)),
+			fmt.Sprintf("%.0f", iosim.ReadBandwidthMBs(machine.Phi0, b)),
+			fmt.Sprintf("%.0f", iosim.WriteBandwidthMBs(machine.Phi1, b)),
+			fmt.Sprintf("%.0f", iosim.ReadBandwidthMBs(machine.Phi1, b)))
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	stack := pcie.NewStack(pcie.PostUpdate)
+	_, err := fmt.Fprintf(w, "workaround (ship to host over SCIF, 4MB msgs): Phi0 write %.0f MB/s\n",
+		iosim.ShipToHostWriteMBs(stack, machine.Phi0, 4<<20))
+	return err
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/pcie"
+	"maia/internal/textplot"
+)
+
+// PCIe interconnect figures (7, 8, 9, 18).
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "MPI latency between host and Phi",
+		Paper: "pre: 3.3/4.6/6.3 us; post: 3.3/4.1/6.6 us (host-Phi0 / host-Phi1 / Phi0-Phi1)",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "MPI bandwidth between host and Phi",
+		Paper: "4MB: pre 1.6 GB/s / 455 MB/s / 444 MB/s; post 6 / 6 / 0.899 GB/s; knees at 8KB and 256KB",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Post-update / pre-update MPI bandwidth gain",
+		Paper: "small msgs 1-1.5x; >=256KB: 2-3.8x (h-p0), 7-13x (h-p1), 1.8-2x (p0-p1)",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Offload-mode bandwidth between host and Phi",
+		Paper: "~6.4 GB/s for large transfers; Phi1 ~3% lower; dip at 64KB; framing eff 76%/86%",
+		Run:   runFig18,
+	})
+}
+
+func runFig7(w io.Writer, env Env) error {
+	pre, post := pcie.NewStack(pcie.PreUpdate), pcie.NewStack(pcie.PostUpdate)
+	t := textplot.NewTable("path", "pre-update us", "post-update us")
+	for _, p := range pcie.Paths() {
+		t.Row(p, fmt.Sprintf("%.1f", pre.Latency(p).Microseconds()),
+			fmt.Sprintf("%.1f", post.Latency(p).Microseconds()))
+	}
+	return t.Fprint(w)
+}
+
+func runFig8(w io.Writer, env Env) error {
+	pre, post := pcie.NewStack(pcie.PreUpdate), pcie.NewStack(pcie.PostUpdate)
+	t := textplot.NewTable("msg size",
+		"pre h-p0", "pre h-p1", "pre p0-p1",
+		"post h-p0", "post h-p1", "post p0-p1")
+	var preH0, postH0 []float64
+	sizes := sizesUpTo(env, 4<<20)
+	for _, m := range sizes {
+		t.Row(byteLabel(m),
+			gbs(pre.Bandwidth(pcie.HostPhi0, m)), gbs(pre.Bandwidth(pcie.HostPhi1, m)),
+			gbs(pre.Bandwidth(pcie.Phi0Phi1, m)),
+			gbs(post.Bandwidth(pcie.HostPhi0, m)), gbs(post.Bandwidth(pcie.HostPhi1, m)),
+			gbs(post.Bandwidth(pcie.Phi0Phi1, m)))
+		preH0 = append(preH0, pre.Bandwidth(pcie.HostPhi0, m))
+		postH0 = append(postH0, post.Bandwidth(pcie.HostPhi0, m))
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	chart := textplot.NewChart(8).
+		Series("post-update host-Phi0 GB/s", postH0).
+		Series("pre-update host-Phi0 GB/s", preH0).
+		XRange(byteLabel(sizes[0]), byteLabel(sizes[len(sizes)-1])).
+		Render()
+	_, err := io.WriteString(w, chart)
+	return err
+}
+
+func runFig9(w io.Writer, env Env) error {
+	pre, post := pcie.NewStack(pcie.PreUpdate), pcie.NewStack(pcie.PostUpdate)
+	t := textplot.NewTable("msg size", "h-p0 gain", "h-p1 gain", "p0-p1 gain")
+	for _, m := range sizesUpTo(env, 4<<20) {
+		t.Row(byteLabel(m),
+			fmt.Sprintf("%.2fx", post.Bandwidth(pcie.HostPhi0, m)/pre.Bandwidth(pcie.HostPhi0, m)),
+			fmt.Sprintf("%.2fx", post.Bandwidth(pcie.HostPhi1, m)/pre.Bandwidth(pcie.HostPhi1, m)),
+			fmt.Sprintf("%.2fx", post.Bandwidth(pcie.Phi0Phi1, m)/pre.Bandwidth(pcie.Phi0Phi1, m)))
+	}
+	return t.Fprint(w)
+}
+
+func runFig18(w io.Writer, env Env) error {
+	cfg := pcie.DefaultDMAConfig()
+	if _, err := fmt.Fprintf(w, "PCIe framing efficiency: %.0f%% at 64 B payload, %.0f%% at 128 B\n",
+		100*pcie.PacketEfficiency(64), 100*pcie.PacketEfficiency(128)); err != nil {
+		return err
+	}
+	t := textplot.NewTable("transfer size", "host-Phi0 GB/s", "host-Phi1 GB/s")
+	for _, m := range sizesUpTo(env, 64<<20) {
+		t.Row(byteLabel(m),
+			gbs(pcie.OffloadBandwidth(cfg, pcie.HostPhi0, m)),
+			gbs(pcie.OffloadBandwidth(cfg, pcie.HostPhi1, m)))
+	}
+	return t.Fprint(w)
+}
+
+// gbs formats a GB/s value adaptively (MB/s below 1 GB/s).
+func gbs(v float64) string {
+	if v < 1 {
+		return fmt.Sprintf("%.0fMB/s", v*1000)
+	}
+	return fmt.Sprintf("%.2fGB/s", v)
+}

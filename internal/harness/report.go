@@ -1,0 +1,257 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"maia/internal/apps/cart3d"
+	"maia/internal/apps/overflow"
+	"maia/internal/iosim"
+	"maia/internal/machine"
+	"maia/internal/memsim"
+	"maia/internal/npb"
+	"maia/internal/pcie"
+	"maia/internal/simmpi"
+	"maia/internal/simomp"
+	"maia/internal/stats"
+	"maia/internal/textplot"
+)
+
+// The report card: every headline claim of the paper, the value measured
+// from this simulation, and a PASS/FAIL verdict on the shape. This is
+// EXPERIMENTS.md as an executable.
+
+func init() {
+	register(Experiment{
+		ID:    "report",
+		Title: "Reproduction report card — every headline claim, checked",
+		Paper: "the paper's qualitative findings, § by §",
+		Run:   runReport,
+	})
+}
+
+// check is one report-card row.
+type check struct {
+	id       string
+	claim    string
+	measured string
+	pass     bool
+}
+
+func runReport(w io.Writer, env Env) error {
+	var rows []check
+	add := func(id, claim, measured string, pass bool) {
+		rows = append(rows, check{id, claim, measured, pass})
+	}
+
+	node := env.Node
+	m := env.Model
+
+	// --- Figure 4: STREAM shape.
+	cfg := memsim.DefaultStreamConfig()
+	triad := func(th int) float64 {
+		return memsim.StreamCurve(node, machine.Phi0, []int{th}, cfg)[0].TriadGBs
+	}
+	t59, t118, t177 := triad(59), triad(118), triad(177)
+	add("fig4", "Phi triad 180 GB/s @59/118 threads, ~140 beyond 128 streams",
+		fmt.Sprintf("%.0f / %.0f / %.0f GB/s", t59, t118, t177),
+		t59 == t118 && t59 > 170 && t177 < t118 && t177 > 130)
+
+	// --- Figure 5: latency hierarchy.
+	phiMem := memsim.ChaseLatency(memsim.MustHierarchy(node.PhiProc), 8<<20, 1).LatencyNs
+	hostMem := memsim.ChaseLatency(memsim.MustHierarchy(node.HostProc), 64<<20, 1).LatencyNs
+	add("fig5", "Phi memory latency ~3.6x the host's (295 vs 81 ns)",
+		fmt.Sprintf("%.0f vs %.0f ns", phiMem, hostMem),
+		phiMem/hostMem > 3 && phiMem/hostMem < 4)
+
+	// --- Figures 8-9: the software update.
+	pre, post := pcie.NewStack(pcie.PreUpdate), pcie.NewStack(pcie.PostUpdate)
+	g1 := post.Bandwidth(pcie.HostPhi1, 4<<20) / pre.Bandwidth(pcie.HostPhi1, 4<<20)
+	add("fig8/9", "post-update lifts host-Phi1 4MB bandwidth 7-13x and kills the asymmetry",
+		fmt.Sprintf("gain %.1fx, post asymmetry %.2f", g1,
+			post.Bandwidth(pcie.HostPhi0, 4<<20)/post.Bandwidth(pcie.HostPhi1, 4<<20)),
+		g1 >= 7 && g1 <= 13.5)
+
+	// --- Figure 10: threads/core vs MPI performance.
+	hostBW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, 64<<10, 2)
+	if err != nil {
+		return err
+	}
+	phi1BW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 59, 1)}, 64<<10, 2)
+	if err != nil {
+		return err
+	}
+	phi4BW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 236, 4)}, 64<<10, 2)
+	if err != nil {
+		return err
+	}
+	add("fig10", "host over Phi 1.3-3.5x (1t/core), 24-54x (4t/core)",
+		fmt.Sprintf("%.1fx / %.1fx", hostBW/phi1BW, hostBW/phi4BW),
+		hostBW/phi1BW >= 1.2 && hostBW/phi1BW <= 4 && hostBW/phi4BW >= 20 && hostBW/phi4BW <= 60)
+
+	// --- Figure 13: the allgather jump.
+	agCfg := simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 64, 1)}
+	ag2, err := simmpi.CollectiveTime(agCfg, simmpi.AllgatherKind, 2048, 1)
+	if err != nil {
+		return err
+	}
+	ag4, err := simmpi.CollectiveTime(agCfg, simmpi.AllgatherKind, 4096, 1)
+	if err != nil {
+		return err
+	}
+	add("fig13", "abrupt jump at 2-4 KB (algorithm switch)",
+		fmt.Sprintf("4KB/2KB time ratio %.1fx", ag4.Seconds()/ag2.Seconds()),
+		ag4.Seconds()/ag2.Seconds() > 2.2)
+
+	// --- Figure 14: Alltoall memory wall.
+	add("fig14", "236 ranks run Alltoall only to 4 KB on the 8 GB card",
+		fmt.Sprintf("4KB fits: %v; 8KB fits: %v",
+			simmpi.AlltoallFeasible(machine.Phi0, node, 236, 4<<10),
+			simmpi.AlltoallFeasible(machine.Phi0, node, 236, 8<<10)),
+		simmpi.AlltoallFeasible(machine.Phi0, node, 236, 4<<10) &&
+			!simmpi.AlltoallFeasible(machine.Phi0, node, 236, 8<<10))
+
+	// --- Figure 15: OpenMP overheads.
+	hostRT := simomp.New(machine.HostPartition(node, 1))
+	phiRT := simomp.New(machine.PhiThreadsPartition(node, machine.Phi0, 236))
+	var ratios []float64
+	for _, c := range simomp.Constructs() {
+		ratios = append(ratios, simomp.MeasureSyncOverhead(phiRT, c).Seconds()/
+			simomp.MeasureSyncOverhead(hostRT, c).Seconds())
+	}
+	gm := stats.GeoMean(ratios)
+	add("fig15", "every OpenMP construct ~10x dearer on the Phi",
+		fmt.Sprintf("geomean ratio %.1fx (range %.1f-%.1f)", gm, stats.Min(ratios), stats.Max(ratios)),
+		gm > 5 && gm < 20)
+
+	// --- Figure 17: I/O.
+	wRatio := iosim.WriteBandwidthMBs(machine.Host, 64<<20) / iosim.WriteBandwidthMBs(machine.Phi0, 64<<20)
+	rRatio := iosim.ReadBandwidthMBs(machine.Host, 64<<20) / iosim.ReadBandwidthMBs(machine.Phi0, 64<<20)
+	add("fig17", "host writes 2.6x and reads 3.9x faster than the Phi",
+		fmt.Sprintf("%.1fx / %.1fx", wRatio, rRatio),
+		wRatio > 2.3 && wRatio < 2.9 && rRatio > 3.5 && rRatio < 4.3)
+
+	// --- Figure 19: the NPB-OpenMP verdict.
+	mgHost, mgPhi, err := npb.OMPThreadSweep(m, npb.MG, npb.ClassC, node)
+	if err != nil {
+		return err
+	}
+	btHost, btPhi, err := npb.OMPThreadSweep(m, npb.BT, npb.ClassC, node)
+	if err != nil {
+		return err
+	}
+	cgHost, cgPhi, err := npb.OMPThreadSweep(m, npb.CG, npb.ClassC, node)
+	if err != nil {
+		return err
+	}
+	mgBest, btBest, cgBest := npb.BestPhi(mgPhi), npb.BestPhi(btPhi), npb.BestPhi(cgPhi)
+	add("fig19", "MG wins on the Phi; BT/CG (and the rest) lose, CG hardest",
+		fmt.Sprintf("MG %.2fx, BT %.2fx, CG %.2fx (host/bestPhi)",
+			mgHost.Gflops/mgBest.Gflops, btHost.Gflops/btBest.Gflops, cgHost.Gflops/cgBest.Gflops),
+		mgHost.Gflops < mgBest.Gflops && btHost.Gflops > btBest.Gflops &&
+			cgHost.Gflops/cgBest.Gflops > btHost.Gflops/btBest.Gflops)
+
+	// --- Figure 20: FT's memory wall.
+	_, ftErr := npb.MPIRun(m, npb.FT, npb.ClassC, machine.Phi0, 64, node)
+	add("fig20", "FT class C does not fit the Phi's 8 GB (needs ~10 GB)",
+		fmt.Sprintf("OOM: %v", errors.Is(ftErr, npb.ErrOOM)),
+		errors.Is(ftErr, npb.ErrOOM))
+
+	// --- Figure 21: Cart3D.
+	c3Host, c3Phi := cart3d.Fig21(m, node)
+	c3Best := cart3d.Best(c3Phi)
+	add("fig21", "host ~2x the best Phi; best at 4 threads/core",
+		fmt.Sprintf("%.2fx, best at %d t/core", c3Host.Gflops/c3Best.Gflops, c3Best.Partition.ThreadsPerCore),
+		c3Host.Gflops/c3Best.Gflops > 1.4 && c3Host.Gflops/c3Best.Gflops < 2.6 &&
+			c3Best.Partition.ThreadsPerCore == 4)
+
+	// --- Figures 22-23: OVERFLOW.
+	ofHost, ofPhi, err := overflow.Fig22(m, node)
+	if err != nil {
+		return err
+	}
+	r1616 := ofHost[overflow.Combo{Ranks: 16, Threads: 1}]
+	r116 := ofHost[overflow.Combo{Ranks: 1, Threads: 16}]
+	p828 := ofPhi[overflow.Combo{Ranks: 8, Threads: 28}]
+	p414 := ofPhi[overflow.Combo{Ranks: 4, Threads: 14}]
+	add("fig22", "host best 16x1 / worst 1x16; Phi best 8x28 / worst 4x14; gap ~1.8x",
+		fmt.Sprintf("host %.2f->%.2f s, Phi %.2f->%.2f s, gap %.2fx",
+			r1616.Seconds(), r116.Seconds(), p828.Seconds(), p414.Seconds(),
+			p828.Seconds()/r1616.Seconds()),
+		r1616 < r116 && p828 < p414 && p828.Seconds()/r1616.Seconds() > 1.5 &&
+			p828.Seconds()/r1616.Seconds() < 2.5)
+
+	hostOnly, err := overflow.HostOnlyStepTime(m, node)
+	if err != nil {
+		return err
+	}
+	twoHosts, err := overflow.TwoHostsStepTime(m, node)
+	if err != nil {
+		return err
+	}
+	symPost, err := overflow.SymmetricStepTime(m, node, overflow.SymmetricConfig{
+		HostCombo: overflow.Combo{Ranks: 16, Threads: 1},
+		PhiCombo:  overflow.Combo{Ranks: 8, Threads: 14},
+		Software:  pcie.PostUpdate})
+	if err != nil {
+		return err
+	}
+	add("fig23", "symmetric beats one host (paper 1.9x) but loses to two hosts",
+		fmt.Sprintf("%.2fx vs host-only; two hosts %.2fx", hostOnly.Seconds()/symPost.Seconds(),
+			hostOnly.Seconds()/twoHosts.Seconds()),
+		symPost < hostOnly && symPost > twoHosts)
+
+	// --- Figure 24: loop collapse + OS core.
+	g236, err := npb.MGCollapseGflops(m, npb.ClassC, machine.PhiThreadsPartition(node, machine.Phi0, 236), false)
+	if err != nil {
+		return err
+	}
+	g236c, err := npb.MGCollapseGflops(m, npb.ClassC, machine.PhiThreadsPartition(node, machine.Phi0, 236), true)
+	if err != nil {
+		return err
+	}
+	hostC0, err := npb.MGCollapseGflops(m, npb.ClassC, machine.HostPartition(node, 1), false)
+	if err != nil {
+		return err
+	}
+	hostC1, err := npb.MGCollapseGflops(m, npb.ClassC, machine.HostPartition(node, 1), true)
+	if err != nil {
+		return err
+	}
+	add("fig24", "collapse gains 25%+ on the Phi, loses ~1% on the host",
+		fmt.Sprintf("Phi(236t) %+.0f%%, host %+.1f%%", (g236c/g236-1)*100, (hostC1/hostC0-1)*100),
+		g236c/g236 > 1.2 && hostC1 < hostC0 && hostC1 > 0.95*hostC0)
+
+	// --- Figure 25: MG's three modes.
+	mg177, err := npb.OMPTime(m, npb.MG, npb.ClassC, machine.PhiThreadsPartition(node, machine.Phi0, 177))
+	if err != nil {
+		return err
+	}
+	offWhole, err := npb.MGOffload(m, npb.ClassC, node, npb.OffloadWhole)
+	if err != nil {
+		return err
+	}
+	add("fig25", "native Phi MG beats native host (paper +27%); all offload modes far below",
+		fmt.Sprintf("Phi %.1f vs host %.1f GF; best offload %.1f GF",
+			mg177.Gflops, mgHost.Gflops, offWhole.Gflops),
+		mg177.Gflops > mgHost.Gflops && offWhole.Gflops < mgHost.Gflops)
+
+	// --- Render.
+	t := textplot.NewTable("figure", "claim", "measured", "verdict")
+	passCount := 0
+	for _, r := range rows {
+		verdict := "PASS"
+		if r.pass {
+			passCount++
+		} else {
+			verdict = "FAIL"
+		}
+		t.Row(r.id, r.claim, r.measured, verdict)
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%d/%d headline claims reproduce\n", passCount, len(rows))
+	return err
+}

@@ -1,0 +1,139 @@
+// Package iosim models the sequential I/O paths of a Maia node
+// (Section 6.6, Figure 17).
+//
+// The benchmark the paper runs is a single-process sequential read/write
+// of a file on an NFS filesystem mounted on the host. The host reaches it
+// directly over the node's network; the Phis reach the same mount through
+// the MPSS virtualized TCP/IP stack that runs over the PCIe fabric, which
+// roughly quarters the achievable bandwidth (write 210 vs ~80 MB/s, read
+// 295 vs ~75 MB/s). The paper also describes Intel's recommended
+// workaround: ship the data to a host process with MPI over SCIF and
+// perform the file I/O there; ShipToHostWriteMBs models it.
+package iosim
+
+import (
+	"fmt"
+
+	"maia/internal/machine"
+	"maia/internal/pcie"
+	"maia/internal/vclock"
+)
+
+// pathParams hold one I/O path's calibration: sustained streaming
+// bandwidth and the fixed per-operation overhead (RPC round trip, page
+// cache management) that throttles small block sizes.
+type pathParams struct {
+	writeMBs float64
+	readMBs  float64
+	perOp    vclock.Time
+}
+
+// params returns the calibrated I/O path constants for a device.
+func params(dev machine.Device) pathParams {
+	if dev.IsPhi() {
+		// NFS re-exported over the MPSS virtual TCP/IP stack on PCIe:
+		// low bandwidth and a heavy per-RPC cost.
+		p := pathParams{writeMBs: 80, readMBs: 75, perOp: 800 * vclock.Microsecond}
+		if dev == machine.Phi1 {
+			// The second card shares no bus with the HCA but crosses
+			// QPI; the paper's Figure 17 shows it marginally slower.
+			p.writeMBs, p.readMBs = 77, 72
+		}
+		return p
+	}
+	return pathParams{writeMBs: 210, readMBs: 295, perOp: 150 * vclock.Microsecond}
+}
+
+// WriteBandwidthMBs returns the sequential write bandwidth in MB/s seen
+// by a single process on dev using the given block size.
+func WriteBandwidthMBs(dev machine.Device, blockBytes int) float64 {
+	return effective(params(dev).writeMBs, params(dev).perOp, blockBytes)
+}
+
+// ReadBandwidthMBs returns the sequential read bandwidth in MB/s.
+func ReadBandwidthMBs(dev machine.Device, blockBytes int) float64 {
+	return effective(params(dev).readMBs, params(dev).perOp, blockBytes)
+}
+
+// effective folds the per-operation overhead into the streaming rate:
+// each block costs perOp + block/bw.
+func effective(mbs float64, perOp vclock.Time, blockBytes int) float64 {
+	if blockBytes <= 0 {
+		return 0
+	}
+	t := perOp.Seconds() + float64(blockBytes)/(mbs*1e6)
+	return float64(blockBytes) / t / 1e6
+}
+
+// TransferTime returns the virtual time for one process on dev to read or
+// write totalBytes sequentially using the given block size.
+func TransferTime(dev machine.Device, write bool, totalBytes int64, blockBytes int) (vclock.Time, error) {
+	if blockBytes <= 0 {
+		return 0, fmt.Errorf("iosim: non-positive block size %d", blockBytes)
+	}
+	if totalBytes < 0 {
+		return 0, fmt.Errorf("iosim: negative byte count %d", totalBytes)
+	}
+	p := params(dev)
+	mbs := p.readMBs
+	if write {
+		mbs = p.writeMBs
+	}
+	blocks := (totalBytes + int64(blockBytes) - 1) / int64(blockBytes)
+	t := vclock.Time(blocks) * p.perOp
+	t += vclock.Time(float64(totalBytes) / (mbs * 1e6))
+	return t, nil
+}
+
+// CheckpointTime prices the paper's motivating I/O case (Section 3.5):
+// a solver checkpointing its solution file — OVERFLOW's DLRF6-Large
+// solution is 2 GB. Native mode writes through the device's own path;
+// with the workaround, a Phi first ships the data to a host rank over
+// SCIF and the host writes. Returns (native, workaround) durations.
+func CheckpointTime(stack *pcie.Stack, dev machine.Device, solutionBytes int64, blockBytes int) (native, workaround vclock.Time, err error) {
+	native, err = TransferTime(dev, true, solutionBytes, blockBytes)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !dev.IsPhi() {
+		return native, native, nil
+	}
+	path := pcie.HostPhi0
+	if dev == machine.Phi1 {
+		path = pcie.HostPhi1
+	}
+	// Pipeline of SCIF transfer and host NFS write: block by block, the
+	// slower stage dominates; add one transfer's latency to fill the
+	// pipe.
+	ship := stack.TransferTime(path, blockBytes)
+	hostWrite, err := TransferTime(machine.Host, true, solutionBytes, blockBytes)
+	if err != nil {
+		return 0, 0, err
+	}
+	blocks := (solutionBytes + int64(blockBytes) - 1) / int64(blockBytes)
+	shipAll := vclock.Time(blocks) * ship
+	workaround = vclock.Max(shipAll, hostWrite) + ship
+	return native, workaround, nil
+}
+
+// ShipToHostWriteMBs models the paper's workaround for the Phi's poor
+// native I/O: send the data from the Phi to a dedicated host MPI rank
+// over SCIF (6 GB/s for >= 4 MB messages) and let that rank do the NFS
+// write. The two stages run as a pipeline, so the sustained rate is set
+// by the slower stage — in practice the host's write bandwidth, which is
+// why Intel recommends it.
+func ShipToHostWriteMBs(stack *pcie.Stack, dev machine.Device, msgBytes int) float64 {
+	if !dev.IsPhi() {
+		return params(machine.Host).writeMBs
+	}
+	path := pcie.HostPhi0
+	if dev == machine.Phi1 {
+		path = pcie.HostPhi1
+	}
+	scifMBs := stack.Bandwidth(path, msgBytes) * 1e3
+	hostMBs := params(machine.Host).writeMBs
+	if scifMBs < hostMBs {
+		return scifMBs
+	}
+	return hostMBs
+}

@@ -1,0 +1,147 @@
+package iosim
+
+import (
+	"math"
+	"testing"
+
+	"maia/internal/machine"
+	"maia/internal/pcie"
+)
+
+func within(t *testing.T, what string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Errorf("%s = %v, want %v (±%v%%)", what, got, want, relTol*100)
+	}
+}
+
+// Figure 17 plateaus at large block sizes: host 210 W / 295 R MB/s,
+// Phi0 80 W / 75 R MB/s.
+func TestFig17Plateaus(t *testing.T) {
+	const big = 64 << 20
+	within(t, "host write", WriteBandwidthMBs(machine.Host, big), 210, 0.02)
+	within(t, "host read", ReadBandwidthMBs(machine.Host, big), 295, 0.02)
+	within(t, "phi0 write", WriteBandwidthMBs(machine.Phi0, big), 80, 0.02)
+	within(t, "phi0 read", ReadBandwidthMBs(machine.Phi0, big), 75, 0.02)
+}
+
+// Section 6.6 ratios: host write 2.6x and read 3.9x the Phi's.
+func TestFig17Ratios(t *testing.T) {
+	const big = 64 << 20
+	within(t, "write ratio",
+		WriteBandwidthMBs(machine.Host, big)/WriteBandwidthMBs(machine.Phi0, big), 2.6, 0.05)
+	within(t, "read ratio",
+		ReadBandwidthMBs(machine.Host, big)/ReadBandwidthMBs(machine.Phi0, big), 3.9, 0.05)
+}
+
+// Small blocks are overhead-dominated; bandwidth grows monotonically with
+// block size on every device.
+func TestBlockSizeRamp(t *testing.T) {
+	for _, dev := range []machine.Device{machine.Host, machine.Phi0, machine.Phi1} {
+		prev := 0.0
+		for bs := 4 << 10; bs <= 64<<20; bs *= 4 {
+			bw := WriteBandwidthMBs(dev, bs)
+			if bw <= prev {
+				t.Errorf("%v: write bandwidth not increasing at block %d", dev, bs)
+			}
+			prev = bw
+		}
+	}
+	if WriteBandwidthMBs(machine.Host, 4<<10) > 30 {
+		t.Error("4 KB host writes should be overhead-dominated")
+	}
+}
+
+func TestPhi1SlightlySlower(t *testing.T) {
+	const big = 64 << 20
+	if !(WriteBandwidthMBs(machine.Phi1, big) < WriteBandwidthMBs(machine.Phi0, big)) {
+		t.Error("Phi1 should be marginally slower than Phi0")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 GB write on the host at ~210 MB/s is ~4.9 s.
+	tt, err := TransferTime(machine.Host, true, 1<<30, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "1GB host write", tt.Seconds(), 5.1, 0.05)
+
+	// The paper's OVERFLOW dataset: a 2 GB solution file write on the Phi
+	// takes minutes, on the host half a minute — the reason native-Phi
+	// I/O is unusable for checkpointing codes.
+	phiT, err := TransferTime(machine.Phi0, true, 2<<30, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostT, err := TransferTime(machine.Host, true, 2<<30, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phiT.Seconds()/hostT.Seconds() < 2 {
+		t.Errorf("phi/host 2GB write ratio = %v, want > 2", phiT.Seconds()/hostT.Seconds())
+	}
+
+	if _, err := TransferTime(machine.Host, true, 100, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := TransferTime(machine.Host, false, -1, 4096); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestZeroBlock(t *testing.T) {
+	if WriteBandwidthMBs(machine.Host, 0) != 0 || ReadBandwidthMBs(machine.Phi0, -5) != 0 {
+		t.Error("non-positive block size must yield 0 bandwidth")
+	}
+}
+
+// The ship-to-host workaround restores (nearly) host-class write
+// bandwidth for large messages, and degrades gracefully for small ones.
+func TestShipToHostWorkaround(t *testing.T) {
+	stack := pcie.NewStack(pcie.PostUpdate)
+	big := ShipToHostWriteMBs(stack, machine.Phi0, 4<<20)
+	within(t, "workaround large", big, 210, 0.02)
+	if big <= WriteBandwidthMBs(machine.Phi0, 64<<20) {
+		t.Error("workaround must beat native Phi writes")
+	}
+	small := ShipToHostWriteMBs(stack, machine.Phi0, 64)
+	if small >= big {
+		t.Error("small-message shipping should be slower")
+	}
+	// Host passthrough.
+	within(t, "host passthrough", ShipToHostWriteMBs(stack, machine.Host, 4<<20), 210, 1e-9)
+}
+
+// The paper's checkpointing case: OVERFLOW's 2 GB solution file takes
+// minutes through the Phi's virtual TCP/IP stack; shipping to the host
+// over SCIF restores host-class write times.
+func TestCheckpointWorkaround(t *testing.T) {
+	stack := pcie.NewStack(pcie.PostUpdate)
+	const solution = 2 << 30
+	native, workaround, err := CheckpointTime(stack, machine.Phi0, solution, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostNative, hostWk, err := CheckpointTime(stack, machine.Host, solution, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostNative != hostWk {
+		t.Error("host checkpoint needs no workaround")
+	}
+	if native.Seconds() < 2*hostNative.Seconds() {
+		t.Errorf("native Phi checkpoint (%v) should be several times the host's (%v)", native, hostNative)
+	}
+	if workaround >= native {
+		t.Errorf("workaround (%v) must beat native Phi (%v)", workaround, native)
+	}
+	// The workaround is bounded below by the host's own write time.
+	if workaround < hostNative {
+		t.Errorf("workaround (%v) cannot beat the host write itself (%v)", workaround, hostNative)
+	}
+	// Degenerate block size surfaces as an error.
+	if _, _, err := CheckpointTime(stack, machine.Phi0, solution, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"maia/internal/machine"
+)
+
+// The modeled Maia system reproduces the paper's Table 1 quantities.
+func ExampleNewSystem() {
+	sys := machine.NewSystem()
+	fmt.Printf("%d nodes, %d + %d cores\n",
+		sys.Nodes, sys.TotalHostCores(), sys.TotalPhiCores())
+	fmt.Printf("Phi peak: %.1f Gflop/s per card\n", sys.Node.PhiPeakGflops())
+	// Output:
+	// 128 nodes, 2048 + 15360 cores
+	// Phi peak: 1008.0 Gflop/s per card
+}
+
+// Thread placements follow the paper's convention: one context per core
+// first, so 59 threads leave the MPSS OS core free and 236 threads run
+// four deep on 59 cores.
+func ExamplePhiThreadsPartition() {
+	n := machine.NewNode()
+	for _, th := range []int{59, 236, 240} {
+		p := machine.PhiThreadsPartition(n, machine.Phi0, th)
+		fmt.Printf("%d threads -> %v (OS core: %v)\n", th, p, p.UsesOSCore)
+	}
+	// Output:
+	// 59 threads -> Phi0[59c x 1t] (OS core: false)
+	// 236 threads -> Phi0[59c x 4t] (OS core: false)
+	// 240 threads -> Phi0[60c x 4t] (OS core: true)
+}

@@ -1,0 +1,72 @@
+package memsim
+
+import (
+	"maia/internal/machine"
+	"maia/internal/vclock"
+)
+
+// LatencyPoint is one point of the Figure 5 curve: the average load-to-use
+// latency observed when chasing pointers through a working set of the
+// given size.
+type LatencyPoint struct {
+	WorkingSetBytes int
+	LatencyNs       float64
+}
+
+// ChaseLatency measures average load latency for one working-set size by
+// actually running a pointer chase through the simulated hierarchy: the
+// working set is a random cyclic permutation of cache lines (so hardware
+// prefetching cannot help, exactly like the lat_mem_rd-style tools the
+// paper used), walked once to warm the caches and then measured.
+func ChaseLatency(h *Hierarchy, workingSetBytes int, seed uint64) LatencyPoint {
+	const lineBytes = 64
+	lines := workingSetBytes / lineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	// Random cyclic permutation: next[i] = successor line index.
+	rng := vclock.NewRNG(seed)
+	perm := rng.Perm(lines)
+	next := make([]int, lines)
+	for i := 0; i < lines; i++ {
+		next[perm[i]] = perm[(i+1)%lines]
+	}
+
+	h.Flush()
+	// Warm-up pass: touch every line once.
+	idx := 0
+	for i := 0; i < lines; i++ {
+		h.Access(uint64(idx) * lineBytes)
+		idx = next[idx]
+	}
+	// Measured pass.
+	var total vclock.Time
+	n := lines
+	// For tiny working sets one traversal is too short to average well;
+	// walk at least 4096 loads.
+	if n < 4096 {
+		n = 4096
+	}
+	for i := 0; i < n; i++ {
+		_, lat := h.Access(uint64(idx) * lineBytes)
+		total += lat
+		idx = next[idx]
+	}
+	return LatencyPoint{
+		WorkingSetBytes: workingSetBytes,
+		LatencyNs:       total.Nanoseconds() / float64(n),
+	}
+}
+
+// LatencyCurve sweeps working-set sizes from minBytes to maxBytes
+// (doubling) and returns the Figure 5 curve for the given processor.
+func LatencyCurve(proc machine.ProcessorSpec, minBytes, maxBytes int) []LatencyPoint {
+	h := MustHierarchy(proc)
+	var out []LatencyPoint
+	seed := uint64(1)
+	for ws := minBytes; ws <= maxBytes; ws *= 2 {
+		out = append(out, ChaseLatency(h, ws, seed))
+		seed++
+	}
+	return out
+}

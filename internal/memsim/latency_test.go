@@ -1,0 +1,69 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"maia/internal/machine"
+)
+
+func within(t *testing.T, what string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Errorf("%s = %v, want %v (±%v%%)", what, got, want, relTol*100)
+	}
+}
+
+// Figure 5, host side: four distinct latency regions. Deep inside each
+// region the chase must measure the level's latency.
+func TestHostLatencyPlateaus(t *testing.T) {
+	h := MustHierarchy(machine.SandyBridge())
+	within(t, "host 16KB", ChaseLatency(h, 16<<10, 1).LatencyNs, 1.5, 0.05)
+	within(t, "host 128KB", ChaseLatency(h, 128<<10, 2).LatencyNs, 4.6, 0.05)
+	within(t, "host 4MB", ChaseLatency(h, 4<<20, 3).LatencyNs, 15, 0.05)
+	within(t, "host 64MB", ChaseLatency(h, 64<<20, 4).LatencyNs, 81, 0.05)
+}
+
+// Figure 5, Phi side: three regions with much higher latencies; main
+// memory (GDDR5) latency is 295 ns vs the host's 81 ns.
+func TestPhiLatencyPlateaus(t *testing.T) {
+	h := MustHierarchy(machine.XeonPhi5110P())
+	within(t, "phi 16KB", ChaseLatency(h, 16<<10, 1).LatencyNs, 2.9, 0.05)
+	within(t, "phi 256KB", ChaseLatency(h, 256<<10, 2).LatencyNs, 22.9, 0.05)
+	within(t, "phi 8MB", ChaseLatency(h, 8<<20, 3).LatencyNs, 295, 0.05)
+}
+
+// The latency curve must be (weakly) increasing with working-set size.
+func TestLatencyCurveMonotone(t *testing.T) {
+	for _, proc := range []machine.ProcessorSpec{machine.SandyBridge(), machine.XeonPhi5110P()} {
+		curve := LatencyCurve(proc, 4<<10, 8<<20)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].LatencyNs < curve[i-1].LatencyNs*0.999 {
+				t.Errorf("%s: latency decreased from %v (%dB) to %v (%dB)",
+					proc.Architecture, curve[i-1].LatencyNs, curve[i-1].WorkingSetBytes,
+					curve[i].LatencyNs, curve[i].WorkingSetBytes)
+			}
+		}
+	}
+}
+
+// Determinism: the same sweep twice yields identical numbers.
+func TestLatencyCurveDeterministic(t *testing.T) {
+	a := LatencyCurve(machine.XeonPhi5110P(), 4<<10, 1<<20)
+	b := LatencyCurve(machine.XeonPhi5110P(), 4<<10, 1<<20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// The paper's headline comparison: Phi memory latency is ~3.6x the host's.
+func TestPhiLatencyDisadvantage(t *testing.T) {
+	hostMem := machine.SandyBridge().MemLatencyNs
+	phiMem := machine.XeonPhi5110P().MemLatencyNs
+	ratio := phiMem / hostMem
+	if ratio < 3 || ratio > 4 {
+		t.Errorf("phi/host memory latency ratio = %v, want ~3.6", ratio)
+	}
+}

@@ -1,0 +1,77 @@
+package memsim
+
+import "maia/internal/machine"
+
+// Strided and random access experiments: the measured basis for the
+// execution model's stride derates. Non-unit strides waste most of every
+// cache line (a 64-byte line delivers 8 useful bytes to a stride-64
+// walk), and random (gather) access additionally loses prefetch, leaving
+// each access paying the full load latency of its serving level.
+
+// StridedBandwidth streams through workingSetBytes touching one element
+// (elemBytes) every strideBytes, through the simulated hierarchy, and
+// returns the effective USEFUL-byte bandwidth in GB/s: useful traffic
+// divided by the time to move whole lines at each serving level's rate.
+func StridedBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes, strideBytes, elemBytes int) float64 {
+	if strideBytes < elemBytes {
+		strideBytes = elemBytes
+	}
+	h.Flush()
+	accesses := workingSetBytes / strideBytes
+	if accesses < 1 {
+		accesses = 1
+	}
+	// Warm-up pass.
+	for i := 0; i < accesses; i++ {
+		h.Access(uint64(i * strideBytes))
+	}
+	passes := 1
+	if accesses < 4096 {
+		passes = 4096/accesses + 1
+	}
+	counts := make([]uint64, len(h.levels)+1)
+	for p := 0; p < passes; p++ {
+		for i := 0; i < accesses; i++ {
+			lv, _ := h.Access(uint64(i * strideBytes))
+			counts[lv]++
+		}
+	}
+	// Bottleneck accounting: the core consumes elemBytes per access from
+	// L1; every level below moves a whole line per access it serves.
+	// Streaming overlaps the levels, so the slowest level's traffic sets
+	// the time and useful bandwidth = useful bytes / that time.
+	const lineBytes = 64
+	totalAccesses := float64(passes * accesses)
+	useful := totalAccesses * float64(elemBytes)
+	l1bw, _ := perLevelBandwidth(proc, 0)
+	maxTime := useful / (l1bw * 1e9)
+	for lv := 1; lv < len(counts); lv++ {
+		if counts[lv] == 0 {
+			continue
+		}
+		r, _ := perLevelBandwidth(proc, lv)
+		if t := float64(counts[lv]) * lineBytes / (r * 1e9); t > maxTime {
+			maxTime = t
+		}
+	}
+	return useful / maxTime / 1e9
+}
+
+// GatherLatencyBound returns the effective bandwidth of a fully random
+// gather over a working set: every access pays its serving level's load
+// latency (no prefetch), delivering elemBytes each.
+func GatherLatencyBound(h *Hierarchy, workingSetBytes, elemBytes int, seed uint64) float64 {
+	pt := ChaseLatency(h, workingSetBytes, seed)
+	return float64(elemBytes) / (pt.LatencyNs * 1e-9) / 1e9
+}
+
+// StrideDerate reports the measured unit-vs-strided bandwidth ratio for
+// a DRAM-resident working set — the simulation-backed counterpart of the
+// execution model's calibrated derates.
+func StrideDerate(proc machine.ProcessorSpec, strideBytes int) float64 {
+	h := MustHierarchy(proc)
+	ws := 32 << 20
+	unit := StridedBandwidth(h, proc, ws, 8, 8)
+	strided := StridedBandwidth(h, proc, ws, strideBytes, 8)
+	return strided / unit
+}

@@ -1,0 +1,82 @@
+package memsim
+
+import (
+	"testing"
+
+	"maia/internal/machine"
+)
+
+// Unit stride delivers (nearly) the full line bandwidth; growing strides
+// waste proportionally more of every line.
+func TestStridedBandwidthDecreases(t *testing.T) {
+	proc := machine.XeonPhi5110P()
+	h := MustHierarchy(proc)
+	const ws = 16 << 20
+	prev := 1e18
+	for _, stride := range []int{8, 16, 32, 64} {
+		bw := StridedBandwidth(h, proc, ws, stride, 8)
+		if bw >= prev {
+			t.Errorf("stride %d: bandwidth %v did not decrease (prev %v)", stride, bw, prev)
+		}
+		prev = bw
+	}
+}
+
+// Within one line (stride <= 64 B), halving density halves useful
+// bandwidth: line traffic is constant per line.
+func TestStrideWasteRatio(t *testing.T) {
+	proc := machine.SandyBridge()
+	h := MustHierarchy(proc)
+	const ws = 32 << 20
+	unit := StridedBandwidth(h, proc, ws, 8, 8)
+	s64 := StridedBandwidth(h, proc, ws, 64, 8)
+	ratio := s64 / unit
+	// A stride-64 walk touches one element per line: 8/64 useful.
+	if ratio < 0.10 || ratio > 0.15 {
+		t.Errorf("stride-64/unit = %.3f, want ~0.125", ratio)
+	}
+}
+
+// Beyond the line size the useful bandwidth stops falling (every access
+// already fetches one line per element).
+func TestStrideBeyondLineFlat(t *testing.T) {
+	proc := machine.SandyBridge()
+	h := MustHierarchy(proc)
+	const ws = 32 << 20
+	a := StridedBandwidth(h, proc, ws, 64, 8)
+	b := StridedBandwidth(h, proc, ws, 256, 8)
+	if b > a*1.05 || b < a*0.7 {
+		t.Errorf("stride 256 (%v) should be near stride 64 (%v)", b, a)
+	}
+}
+
+// Random gather is latency-bound: far below even the stride-wasted
+// streaming bandwidth on the Phi, whose memory latency is 295 ns.
+func TestGatherLatencyBound(t *testing.T) {
+	proc := machine.XeonPhi5110P()
+	h := MustHierarchy(proc)
+	gather := GatherLatencyBound(h, 16<<20, 8, 1)
+	// 8 bytes per 295 ns = 0.027 GB/s.
+	if gather > 0.05 {
+		t.Errorf("phi gather bandwidth %v GB/s, want latency-bound ~0.03", gather)
+	}
+	hostH := MustHierarchy(machine.SandyBridge())
+	hostGather := GatherLatencyBound(hostH, 64<<20, 8, 1)
+	if hostGather/gather < 2 {
+		t.Errorf("host gather (%v) should be several times the Phi's (%v)", hostGather, gather)
+	}
+}
+
+// The measured derates back the execution model's stride factors: a
+// stride-32 walk uses a quarter of every line, so useful bandwidth is a
+// quarter of unit stride's on both architectures. (The Phi's FURTHER
+// losses on irregular access are latency exposure — the gather test
+// above — not line waste.)
+func TestStrideDerateLineWaste(t *testing.T) {
+	for _, proc := range []machine.ProcessorSpec{machine.SandyBridge(), machine.XeonPhi5110P()} {
+		d := StrideDerate(proc, 32)
+		if d < 0.2 || d > 0.3 {
+			t.Errorf("%s stride-32 derate = %.3f, want ~0.25", proc.Architecture, d)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package npb
+
+import "fmt"
+
+// Shared linear-algebra machinery for the three NPB pseudo-applications.
+// All of them evolve a 5-component field (the five Navier-Stokes-like
+// variables of the reference suite) on a cubic grid:
+//
+//	BT: ADI factorization with 5x5 BLOCK-TRIDIAGONAL line solves;
+//	SP: ADI factorization with SCALAR-PENTADIAGONAL line solves;
+//	LU: SSOR sweeps over the steady 7-point block system.
+
+// ncomp is the field component count.
+const ncomp = 5
+
+// mat5 is a dense 5x5 matrix, row-major.
+type mat5 [ncomp * ncomp]float64
+
+// ident5 returns s * I.
+func ident5(s float64) mat5 {
+	var m mat5
+	for i := 0; i < ncomp; i++ {
+		m[i*ncomp+i] = s
+	}
+	return m
+}
+
+// add returns a + b.
+func (a mat5) add(b mat5) mat5 {
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}
+
+// scale returns s * a.
+func (a mat5) scale(s float64) mat5 {
+	for i := range a {
+		a[i] *= s
+	}
+	return a
+}
+
+// mul returns a * b.
+func (a mat5) mul(b mat5) mat5 {
+	var c mat5
+	for i := 0; i < ncomp; i++ {
+		for k := 0; k < ncomp; k++ {
+			aik := a[i*ncomp+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < ncomp; j++ {
+				c[i*ncomp+j] += aik * b[k*ncomp+j]
+			}
+		}
+	}
+	return c
+}
+
+// sub returns a - b.
+func (a mat5) sub(b mat5) mat5 {
+	for i := range a {
+		a[i] -= b[i]
+	}
+	return a
+}
+
+// matvec computes y = a*x for 5-vectors.
+func (a mat5) matvec(x, y []float64) {
+	for i := 0; i < ncomp; i++ {
+		s := 0.0
+		for j := 0; j < ncomp; j++ {
+			s += a[i*ncomp+j] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// invert returns a⁻¹ by Gauss-Jordan elimination with partial pivoting.
+// It panics on a singular matrix: the benchmark matrices are diagonally
+// dominant by construction, so singularity is a programming error.
+func (a mat5) invert() mat5 {
+	var aug [ncomp][2 * ncomp]float64
+	for i := 0; i < ncomp; i++ {
+		for j := 0; j < ncomp; j++ {
+			aug[i][j] = a[i*ncomp+j]
+		}
+		aug[i][ncomp+i] = 1
+	}
+	for col := 0; col < ncomp; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < ncomp; r++ {
+			if abs(aug[r][col]) > abs(aug[p][col]) {
+				p = r
+			}
+		}
+		if abs(aug[p][col]) < 1e-14 {
+			panic(fmt.Sprintf("npb: singular 5x5 matrix at column %d", col))
+		}
+		aug[col], aug[p] = aug[p], aug[col]
+		piv := aug[col][col]
+		for j := 0; j < 2*ncomp; j++ {
+			aug[col][j] /= piv
+		}
+		for r := 0; r < ncomp; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*ncomp; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	var inv mat5
+	for i := 0; i < ncomp; i++ {
+		for j := 0; j < ncomp; j++ {
+			inv[i*ncomp+j] = aug[i][ncomp+j]
+		}
+	}
+	return inv
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// blockTriSolve solves the constant-coefficient block-tridiagonal system
+//
+//	A u_{i-1} + B u_i + C u_{i+1} = r_i,  i = 0..n-1,  u_{-1} = u_n = 0
+//
+// in place: r (n cells x 5 components, flattened) is overwritten with u.
+// w is caller-provided scratch of n mat5 (avoids per-line allocation in
+// the inner loops of BT).
+func blockTriSolve(a, b, c mat5, r []float64, w []mat5) {
+	n := len(r) / ncomp
+	if len(w) < n {
+		panic("npb: blockTriSolve scratch too small")
+	}
+	var tmp [ncomp]float64
+
+	// Forward elimination.
+	dInv := b.invert()
+	w[0] = dInv.mul(c)
+	dInv.matvec(r[:ncomp], tmp[:])
+	copy(r[:ncomp], tmp[:])
+	for i := 1; i < n; i++ {
+		d := b.sub(a.mul(w[i-1]))
+		dInv = d.invert()
+		w[i] = dInv.mul(c)
+		// rhs_i -= A * u_{i-1}  (u_{i-1} currently holds g_{i-1})
+		a.matvec(r[(i-1)*ncomp:i*ncomp], tmp[:])
+		for k := 0; k < ncomp; k++ {
+			r[i*ncomp+k] -= tmp[k]
+		}
+		dInv.matvec(r[i*ncomp:(i+1)*ncomp], tmp[:])
+		copy(r[i*ncomp:(i+1)*ncomp], tmp[:])
+	}
+	// Back substitution.
+	for i := n - 2; i >= 0; i-- {
+		w[i].matvec(r[(i+1)*ncomp:(i+2)*ncomp], tmp[:])
+		for k := 0; k < ncomp; k++ {
+			r[i*ncomp+k] -= tmp[k]
+		}
+	}
+}
+
+// pentaScratch is the per-line working storage of pentaSolve, reusable
+// across calls to keep the ADI inner loops allocation-free.
+type pentaScratch struct {
+	e2w, e1w, dw, f1w, f2w []float64
+}
+
+func newPentaScratch(n int) *pentaScratch {
+	return &pentaScratch{
+		e2w: make([]float64, n), e1w: make([]float64, n),
+		dw: make([]float64, n), f1w: make([]float64, n), f2w: make([]float64, n),
+	}
+}
+
+// pentaSolve solves the constant-coefficient pentadiagonal system
+//
+//	e2 u_{i-2} + e1 u_{i-1} + d u_i + f1 u_{i+1} + f2 u_{i+2} = r_i
+//
+// with zero boundary values, in place on r (one scalar per cell), by
+// banded Gaussian elimination without pivoting (the matrices here are
+// diagonally dominant).
+func pentaSolve(e2, e1, d, f1, f2 float64, r []float64, s *pentaScratch) {
+	n := len(r)
+	if len(s.dw) < n {
+		panic("npb: pentaSolve scratch too small")
+	}
+	for i := 0; i < n; i++ {
+		s.e2w[i], s.e1w[i], s.dw[i], s.f1w[i], s.f2w[i] = e2, e1, d, f1, f2
+	}
+	s.e1w[0], s.e2w[0] = 0, 0
+	if n > 1 {
+		s.e2w[1] = 0
+	}
+	// Forward elimination: clear e2 with row i-2, then e1 with row i-1.
+	for i := 1; i < n; i++ {
+		if i >= 2 && s.e2w[i] != 0 {
+			m := s.e2w[i] / s.dw[i-2]
+			s.e1w[i] -= m * s.f1w[i-2]
+			s.dw[i] -= m * s.f2w[i-2]
+			r[i] -= m * r[i-2]
+		}
+		if s.e1w[i] != 0 {
+			m := s.e1w[i] / s.dw[i-1]
+			s.dw[i] -= m * s.f1w[i-1]
+			s.f1w[i] -= m * s.f2w[i-1]
+			r[i] -= m * r[i-1]
+		}
+	}
+	// Back substitution.
+	r[n-1] /= s.dw[n-1]
+	if n >= 2 {
+		r[n-2] = (r[n-2] - s.f1w[n-2]*r[n-1]) / s.dw[n-2]
+	}
+	for i := n - 3; i >= 0; i-- {
+		r[i] = (r[i] - s.f1w[i]*r[i+1] - s.f2w[i]*r[i+2]) / s.dw[i]
+	}
+}

@@ -1,0 +1,29 @@
+package npb_test
+
+import (
+	"fmt"
+
+	"maia/internal/npb"
+)
+
+// The EP kernel reproduces the official NPB class S verification values
+// exactly (the acceptance count shown here is the reference's).
+func ExampleRunEPSerial() {
+	res, err := npb.RunEPSerial(1 << 20) // a 1/16th-of-class-S slice
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Pairs, res.Accepted == res.Gaussians())
+	// Output: 1048576 true
+}
+
+// Work profiles characterize paper-scale runs for the execution model.
+func ExampleProfile() {
+	w, err := npb.Profile(npb.MG, npb.ClassC)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %.1f Gflop, OI %.2f flops/byte\n",
+		w.Name, w.Flops/1e9, w.OperationalIntensity())
+	// Output: NPB MG.C: 155.7 Gflop, OI 0.26 flops/byte
+}

@@ -1,0 +1,149 @@
+package npb
+
+import (
+	"fmt"
+
+	"maia/internal/simomp"
+)
+
+// IS — the integer sort kernel: rank (counting-sort) a sequence of keys
+// drawn from a truncated binomial-ish distribution, ten times, mutating
+// two keys per iteration as the reference code does. IS has almost no
+// floating point and is all irregular scatter traffic.
+
+// ISKeys generates the benchmark's key sequence: each key is the scaled
+// sum of four RANDLC deviates (the reference create_seq).
+func ISKeys(n, maxKey int64) []int32 {
+	keys := make([]int32, n)
+	seed := DefaultSeed
+	k := float64(maxKey) / 4
+	for i := range keys {
+		x := Randlc(&seed, MultA)
+		x += Randlc(&seed, MultA)
+		x += Randlc(&seed, MultA)
+		x += Randlc(&seed, MultA)
+		keys[i] = int32(k * x)
+	}
+	return keys
+}
+
+// ISResult carries the sorted keys and bookkeeping for verification.
+type ISResult struct {
+	Sorted     []int32
+	Iterations int
+}
+
+// RunIS runs the IS benchmark: iters ranking passes over the keys (with
+// the reference's per-iteration key mutations), then a full sort built
+// from the final ranks. The counting phase is work-shared across the
+// team (nil runs serially) with per-thread histograms merged
+// deterministically.
+func RunIS(keys []int32, maxKey int64, iters int, team *simomp.Team) (ISResult, error) {
+	if maxKey <= 0 {
+		return ISResult{}, fmt.Errorf("npb: IS maxKey %d", maxKey)
+	}
+	n := int64(len(keys))
+	if n == 0 {
+		return ISResult{}, fmt.Errorf("npb: IS with no keys")
+	}
+	work := make([]int32, n)
+	copy(work, keys)
+
+	var counts []int64
+	for it := 1; it <= iters; it++ {
+		// Reference quirk: each iteration plants two sentinel keys.
+		work[it%len(work)] = int32(it % int(maxKey))
+		work[(it+int(maxKey/2))%len(work)] = int32(maxKey - 1 - int64(it)%maxKey)
+		counts = isCount(work, maxKey, team)
+	}
+	if counts == nil {
+		counts = isCount(work, maxKey, team)
+	}
+
+	// Exclusive prefix sum of the final counts gives each key's rank;
+	// scatter into the output.
+	sorted := make([]int32, n)
+	pos := int64(0)
+	for v, c := range counts {
+		for j := int64(0); j < c; j++ {
+			sorted[pos+j] = int32(v)
+		}
+		pos += c
+	}
+	return ISResult{Sorted: sorted, Iterations: iters}, nil
+}
+
+// isCount builds the key histogram with per-thread private histograms.
+// A nil team counts serially.
+func isCount(keys []int32, maxKey int64, team *simomp.Team) []int64 {
+	if team == nil {
+		h := make([]int64, maxKey)
+		for _, k := range keys {
+			h[k]++
+		}
+		return h
+	}
+	threads := team.Threads()
+	private := make([][]int64, threads)
+	n := len(keys)
+	chunk := (n + threads - 1) / threads
+	team.Parallel(func(tid int) {
+		lo := tid * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return
+		}
+		h := make([]int64, maxKey)
+		for _, k := range keys[lo:hi] {
+			h[k]++
+		}
+		private[tid] = h
+	}, nil)
+	total := make([]int64, maxKey)
+	for _, h := range private {
+		if h == nil {
+			continue
+		}
+		for v, c := range h {
+			total[v] += c
+		}
+	}
+	return total
+}
+
+// ISVerify checks the result: sorted order and permutation (same
+// multiset as the input after the iteration mutations are replayed).
+func ISVerify(input []int32, maxKey int64, iters int, res ISResult) error {
+	if len(res.Sorted) != len(input) {
+		return fmt.Errorf("npb: IS output length %d != input %d", len(res.Sorted), len(input))
+	}
+	for i := 1; i < len(res.Sorted); i++ {
+		if res.Sorted[i-1] > res.Sorted[i] {
+			return fmt.Errorf("npb: IS output not sorted at %d", i)
+		}
+	}
+	// Replay the mutations to reconstruct the final multiset.
+	work := make([]int32, len(input))
+	copy(work, input)
+	for it := 1; it <= iters; it++ {
+		work[it%len(work)] = int32(it % int(maxKey))
+		work[(it+int(maxKey/2))%len(work)] = int32(maxKey - 1 - int64(it)%maxKey)
+	}
+	want := make(map[int32]int64, 1024)
+	for _, k := range work {
+		want[k]++
+	}
+	for _, k := range res.Sorted {
+		want[k]--
+		if want[k] == 0 {
+			delete(want, k)
+		}
+	}
+	if len(want) != 0 {
+		return fmt.Errorf("npb: IS output is not a permutation of the input")
+	}
+	return nil
+}

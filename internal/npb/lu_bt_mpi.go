@@ -1,0 +1,374 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"maia/internal/simmpi"
+)
+
+// Distributed LU and BT: the two pseudo-applications whose parallel
+// structure the paper's analysis leans on.
+//
+//   - LU-MPI: SSOR with the grid slab-decomposed along i and the sweeps
+//     PIPELINED rank to rank — the production code's wavefront. Updates
+//     read new values of lower neighbours and old values of upper ones,
+//     so any topological order (serial hyperplanes, distributed
+//     plane-pipeline) produces bit-identical results.
+//   - BT-MPI: the ADI scheme with j- and k-line solves local to each
+//     slab and the i-line block-tridiagonal solves PIPELINED through the
+//     ranks (distributed Thomas: forward elimination flows right,
+//     back-substitution flows left).
+//   - EP-MPI: batches split across ranks, sums combined with Allreduce.
+
+// RunLUMPI runs the LU benchmark with `ranks` slab ranks. The residual
+// history matches the serial RunLU exactly.
+func RunLUMPI(n, steps, ranks int) ([]float64, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("npb: LU grid %d too small", n)
+	}
+	if steps < 1 || ranks < 1 || ranks > n {
+		return nil, fmt.Errorf("npb: LU needs steps >= 1 and 1..%d ranks", n)
+	}
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: simmpi.HostPlacement(ranks, 1)})
+	if err != nil {
+		return nil, err
+	}
+	res := make([]float64, steps)
+	err = w.Run(func(r *simmpi.Rank) {
+		st, err := NewLU(n)
+		if err != nil {
+			panic(err)
+		}
+		lo, hi := blockRange(n, ranks, r.ID())
+		planeVals := n * n * ncomp
+
+		// ghostPlane extracts plane i of U.
+		plane := func(i int) []float64 {
+			return st.U.V[st.U.Idx(i, 0, 0) : st.U.Idx(i, 0, 0)+planeVals]
+		}
+		relaxPlane := func(i int) {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					luRelaxCell(st, i, j, k)
+				}
+			}
+		}
+		for step := 0; step < steps; step++ {
+			// Forward sweep: wait for the updated plane lo-1, relax my
+			// planes in order, pass plane hi right.
+			if r.ID() > 0 {
+				copy(plane(lo-1), bytesToF64Buf(r.Recv(r.ID()-1, 20)))
+			}
+			for i := lo; i < hi; i++ {
+				relaxPlane(i)
+			}
+			if r.ID() < ranks-1 {
+				r.Send(r.ID()+1, 20, f64ToBytesBuf(plane(hi-1)))
+			}
+			// Backward sweep: mirror image.
+			if r.ID() < ranks-1 {
+				copy(plane(hi), bytesToF64Buf(r.Recv(r.ID()+1, 21)))
+			}
+			for i := hi - 1; i >= lo; i-- {
+				for j := n - 1; j >= 0; j-- {
+					for k := n - 1; k >= 0; k-- {
+						luRelaxCell(st, i, j, k)
+					}
+				}
+			}
+			if r.ID() > 0 {
+				r.Send(r.ID()-1, 21, f64ToBytesBuf(plane(lo)))
+			}
+			// Residual over owned planes; neighbours' boundary planes
+			// are needed once more for the stencil.
+			if r.ID() > 0 {
+				r.Send(r.ID()-1, 22, f64ToBytesBuf(plane(lo)))
+			}
+			if r.ID() < ranks-1 {
+				copy(plane(hi), bytesToF64Buf(r.Recv(r.ID()+1, 22)))
+				r.Send(r.ID()+1, 23, f64ToBytesBuf(plane(hi-1)))
+			}
+			if r.ID() > 0 {
+				copy(plane(lo-1), bytesToF64Buf(r.Recv(r.ID()-1, 23)))
+			}
+			sum := luResidualPlanes(st, lo, hi)
+			tot := r.AllreduceSum(sum)
+			if r.ID() == 0 {
+				res[step] = math.Sqrt(tot / float64(n*n*n*ncomp))
+			}
+		}
+	})
+	return res, err
+}
+
+// luRelaxCell applies one SSOR update to cell (i,j,k) — the same
+// arithmetic as the serial sweep's body.
+func luRelaxCell(st *LUState, i, j, k int) {
+	n := st.N
+	var rhs, tmp [ncomp]float64
+	off := st.U.Idx(i, j, k)
+	copy(rhs[:], st.F.V[off:off+ncomp])
+	for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+		ni, nj, nk := i+d[0], j+d[1], k+d[2]
+		if ni < 0 || nj < 0 || nk < 0 || ni >= n || nj >= n || nk >= n {
+			continue
+		}
+		noff := st.U.Idx(ni, nj, nk)
+		st.off.matvec(st.U.V[noff:noff+ncomp], tmp[:])
+		for c := 0; c < ncomp; c++ {
+			rhs[c] -= tmp[c]
+		}
+	}
+	st.diagInv.matvec(rhs[:], tmp[:])
+	for c := 0; c < ncomp; c++ {
+		st.U.V[off+c] += st.omega * (tmp[c] - st.U.V[off+c])
+	}
+}
+
+// luResidualPlanes sums the squared residual over planes [lo, hi).
+func luResidualPlanes(st *LUState, lo, hi int) float64 {
+	n := st.N
+	var tmp [ncomp]float64
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				off := st.U.Idx(i, j, k)
+				var rr [ncomp]float64
+				st.diag.matvec(st.U.V[off:off+ncomp], tmp[:])
+				for c := 0; c < ncomp; c++ {
+					rr[c] = st.F.V[off+c] - tmp[c]
+				}
+				for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+					ni, nj, nk := i+d[0], j+d[1], k+d[2]
+					if ni < 0 || nj < 0 || nk < 0 || ni >= n || nj >= n || nk >= n {
+						continue
+					}
+					noff := st.U.Idx(ni, nj, nk)
+					st.off.matvec(st.U.V[noff:noff+ncomp], tmp[:])
+					for c := 0; c < ncomp; c++ {
+						rr[c] -= tmp[c]
+					}
+				}
+				for c := 0; c < ncomp; c++ {
+					s += rr[c] * rr[c]
+				}
+			}
+		}
+	}
+	return s
+}
+
+// RunBTMPI runs the BT benchmark with `ranks` slab ranks: j/k ADI sweeps
+// local, i-sweeps as a distributed block-Thomas pipeline. Norm history
+// matches the serial RunBT exactly.
+func RunBTMPI(n, steps, ranks int) ([]float64, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("npb: BT grid %d too small", n)
+	}
+	if steps < 1 || ranks < 1 || ranks > n {
+		return nil, fmt.Errorf("npb: BT needs steps >= 1 and 1..%d ranks", n)
+	}
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: simmpi.HostPlacement(ranks, 1)})
+	if err != nil {
+		return nil, err
+	}
+	res := make([]float64, steps)
+	err = w.Run(func(r *simmpi.Rank) {
+		st, err := NewBT(n)
+		if err != nil {
+			panic(err)
+		}
+		lo, hi := blockRange(n, ranks, r.ID())
+
+		for step := 0; step < steps; step++ {
+			// Forcing on owned planes.
+			for i := lo; i < hi; i++ {
+				base := st.U.Idx(i, 0, 0)
+				for o := base; o < base+n*n*ncomp; o++ {
+					st.U.V[o] += st.tau * st.F.V[o]
+				}
+			}
+			// dim 0: distributed i-line solves.
+			btSolveILines(r, st, lo, hi, ranks)
+			// dims 1, 2: local line solves on owned planes.
+			btSolveLocal(st, lo, hi, 1)
+			btSolveLocal(st, lo, hi, 2)
+
+			// Norm over owned planes.
+			sum := 0.0
+			for o := st.U.Idx(lo, 0, 0); o < st.U.Idx(hi, 0, 0); o++ {
+				sum += st.U.V[o] * st.U.V[o]
+			}
+			tot := r.AllreduceSum(sum)
+			if r.ID() == 0 {
+				res[step] = math.Sqrt(tot / float64(n*n*n*ncomp))
+			}
+		}
+	})
+	return res, err
+}
+
+// btSolveLocal runs the dim-1 or dim-2 line solves for the owned planes.
+func btSolveLocal(st *BTState, lo, hi, dim int) {
+	n := st.N
+	buf := make([]float64, n*ncomp)
+	ws := make([]mat5, n)
+	for i := lo; i < hi; i++ {
+		for q := 0; q < n; q++ {
+			// Gather the line (i fixed; dim runs over j or k).
+			for c := 0; c < n; c++ {
+				var off int
+				if dim == 1 {
+					off = st.U.Idx(i, c, q)
+				} else {
+					off = st.U.Idx(i, q, c)
+				}
+				copy(buf[c*ncomp:(c+1)*ncomp], st.U.V[off:off+ncomp])
+			}
+			blockTriSolve(st.op.a, st.op.b, st.op.c, buf, ws)
+			for c := 0; c < n; c++ {
+				var off int
+				if dim == 1 {
+					off = st.U.Idx(i, c, q)
+				} else {
+					off = st.U.Idx(i, q, c)
+				}
+				copy(st.U.V[off:off+ncomp], buf[c*ncomp:(c+1)*ncomp])
+			}
+		}
+	}
+}
+
+// btSolveILines runs the i-direction block-tridiagonal solves as a
+// distributed Thomas pipeline: forward elimination state (the W matrix
+// and g vector per line) flows right; back-substitution values flow
+// left. The per-line arithmetic reproduces blockTriSolve exactly.
+func btSolveILines(r *simmpi.Rank, st *BTState, lo, hi, ranks int) {
+	n := st.N
+	lines := n * n
+	a, b, c := st.op.a, st.op.b, st.op.c
+	const wgLen = ncomp*ncomp + ncomp // one line's (W, g) payload
+
+	// Per-line state for my planes.
+	wMat := make([]mat5, lines*(hi-lo))
+	gVec := make([]float64, lines*(hi-lo)*ncomp)
+
+	// Forward elimination.
+	var incoming []float64
+	if r.ID() > 0 {
+		incoming = bytesToF64Buf(r.Recv(r.ID()-1, 30))
+	}
+	outgoing := make([]float64, lines*wgLen)
+	var tmp [ncomp]float64
+	for line := 0; line < lines; line++ {
+		p, q := line/n, line%n
+		var wPrev mat5
+		var gPrev [ncomp]float64
+		havePrev := false
+		if r.ID() > 0 {
+			copy(wPrev[:], incoming[line*wgLen:line*wgLen+ncomp*ncomp])
+			copy(gPrev[:], incoming[line*wgLen+ncomp*ncomp:])
+			havePrev = true
+		}
+		for i := lo; i < hi; i++ {
+			off := st.U.Idx(i, p, q)
+			rhs := st.U.V[off : off+ncomp]
+			d := b
+			if havePrev || i > 0 {
+				d = b.sub(a.mul(wPrev))
+				a.matvec(gPrev[:], tmp[:])
+				for cc := 0; cc < ncomp; cc++ {
+					rhs[cc] -= tmp[cc]
+				}
+			}
+			dInv := d.invert()
+			w := dInv.mul(c)
+			dInv.matvec(rhs, tmp[:])
+			copy(rhs, tmp[:])
+			idx := line*(hi-lo) + (i - lo)
+			wMat[idx] = w
+			copy(gVec[idx*ncomp:(idx+1)*ncomp], rhs)
+			wPrev = w
+			copy(gPrev[:], rhs)
+			havePrev = true
+		}
+		copy(outgoing[line*wgLen:line*wgLen+ncomp*ncomp], wPrev[:])
+		copy(outgoing[line*wgLen+ncomp*ncomp:(line+1)*wgLen], gPrev[:])
+	}
+	if r.ID() < ranks-1 {
+		r.Send(r.ID()+1, 30, f64ToBytesBuf(outgoing))
+	}
+
+	// Back substitution: u_i = g_i - W_i u_{i+1}.
+	var uNext []float64
+	if r.ID() < ranks-1 {
+		uNext = bytesToF64Buf(r.Recv(r.ID()+1, 31))
+	}
+	uOut := make([]float64, lines*ncomp)
+	for line := 0; line < lines; line++ {
+		p, q := line/n, line%n
+		var next [ncomp]float64
+		haveNext := r.ID() < ranks-1
+		if haveNext {
+			copy(next[:], uNext[line*ncomp:(line+1)*ncomp])
+		}
+		for i := hi - 1; i >= lo; i-- {
+			off := st.U.Idx(i, p, q)
+			idx := line*(hi-lo) + (i - lo)
+			u := st.U.V[off : off+ncomp]
+			copy(u, gVec[idx*ncomp:(idx+1)*ncomp])
+			if haveNext || i < st.N-1 {
+				wMat[idx].matvec(next[:], tmp[:])
+				for cc := 0; cc < ncomp; cc++ {
+					u[cc] -= tmp[cc]
+				}
+			}
+			copy(next[:], u)
+			haveNext = true
+		}
+		copy(uOut[line*ncomp:(line+1)*ncomp], next[:])
+	}
+	if r.ID() > 0 {
+		r.Send(r.ID()-1, 31, f64ToBytesBuf(uOut))
+	}
+}
+
+// RunEPMPI runs EP with the batches divided across ranks and the sums
+// combined by Allreduce. Counts are exact; sums match serial to
+// reduction rounding.
+func RunEPMPI(pairs int64, ranks int) (EPResult, error) {
+	if err := epCheck(pairs); err != nil {
+		return EPResult{}, err
+	}
+	batches := int(pairs >> epBatchLog2)
+	if ranks < 1 || ranks > batches {
+		return EPResult{}, fmt.Errorf("npb: %d ranks for %d batches", ranks, batches)
+	}
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: simmpi.HostPlacement(ranks, 1)})
+	if err != nil {
+		return EPResult{}, err
+	}
+	var res EPResult
+	err = w.Run(func(r *simmpi.Rank) {
+		lo, hi := blockRange(batches, ranks, r.ID())
+		var part EPResult
+		for j := lo; j < hi; j++ {
+			epBatch(int64(j), &part)
+		}
+		vec := []float64{part.Sx, part.Sy, float64(part.Accepted), float64(part.Pairs)}
+		for _, cnt := range part.Counts {
+			vec = append(vec, float64(cnt))
+		}
+		tot := r.Allreduce(vec, simmpi.OpSum)
+		if r.ID() == 0 {
+			res.Sx, res.Sy = tot[0], tot[1]
+			res.Accepted, res.Pairs = int64(tot[2]), int64(tot[3])
+			for l := range res.Counts {
+				res.Counts[l] = int64(tot[4+l])
+			}
+		}
+	})
+	return res, err
+}

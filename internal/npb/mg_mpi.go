@@ -1,0 +1,321 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"maia/internal/simmpi"
+)
+
+// MG as a real MPI program: the fine levels are slab-decomposed along
+// the first grid dimension with one-plane halo exchanges before every
+// stencil sweep; once a level is too coarse to keep every rank busy the
+// whole problem is gathered to rank 0, which runs the remaining V-cycle
+// serially (the reference code's strategy for its coarsest grids) and
+// scatters the correction back. Residual histories match the serial
+// RunMG to rounding.
+
+// mgSlab is one rank's view of one level: full-size arrays (the mini-app
+// trades memory for indexing simplicity) of which only planes
+// [lo-1, hi+1] are meaningful.
+type mgSlab struct {
+	u, f, r, tmp *MGGrid
+	lo, hi       int // owned interior i-planes, inclusive
+}
+
+// mgRankState is one rank's grid hierarchy.
+type mgRankState struct {
+	rank   *simmpi.Rank
+	ranks  int
+	levels []*mgSlab // distributed levels only
+	serial *mgHierarchy
+	// serialTop is the interval count at which the problem collapses to
+	// rank 0.
+	serialTop int
+}
+
+// slabRange returns the owned interior planes [lo, hi] for a level with
+// n intervals (interior planes 1..n-1).
+func slabRange(n, ranks, id int) (lo, hi int) {
+	per := n / ranks
+	lo = id*per + 1
+	hi = (id + 1) * per
+	if id == ranks-1 {
+		hi = n - 1
+	}
+	return lo, hi
+}
+
+// exchangeHalo refreshes the ghost planes lo-1 and hi+1 of grid g from
+// the neighbouring ranks. Plane tags disambiguate direction.
+func (st *mgRankState) exchangeHalo(g *MGGrid, lo, hi int) {
+	r := st.rank
+	id := r.ID()
+	s := g.N + 1
+	planeBytes := func(i int) []byte {
+		return planeToBytes(g.V[g.Idx(i, 0, 0) : g.Idx(i, 0, 0)+s*s])
+	}
+	setPlane := func(i int, b []byte) {
+		bytesToPlane(b, g.V[g.Idx(i, 0, 0):g.Idx(i, 0, 0)+s*s])
+	}
+	// Right-going: my hi plane becomes the right neighbour's lo-1 ghost.
+	if id < st.ranks-1 {
+		r.Send(id+1, 10, planeBytes(hi))
+	}
+	if id > 0 {
+		setPlane(lo-1, r.Recv(id-1, 10))
+	}
+	// Left-going.
+	if id > 0 {
+		r.Send(id-1, 11, planeBytes(lo))
+	}
+	if id < st.ranks-1 {
+		setPlane(hi+1, r.Recv(id+1, 11))
+	}
+}
+
+// smoothSlab runs one weighted-Jacobi sweep on the owned planes.
+func smoothSlab(sl *mgSlab) {
+	n := sl.u.N
+	h2 := 1.0 / float64(n*n)
+	const w = 2.0 / 3.0
+	s := n + 1
+	for i := sl.lo; i <= sl.hi; i++ {
+		for j := 1; j < n; j++ {
+			for k := 1; k < n; k++ {
+				c := sl.u.Idx(i, j, k)
+				lap := (6*sl.u.V[c] - sl.u.V[c-1] - sl.u.V[c+1] -
+					sl.u.V[c-s] - sl.u.V[c+s] - sl.u.V[c-s*s] - sl.u.V[c+s*s]) / h2
+				sl.tmp.V[c] = sl.u.V[c] + w*(sl.f.V[c]-lap)*h2/6
+			}
+		}
+	}
+	sl.u, sl.tmp = sl.tmp, sl.u
+}
+
+// residualSlab computes r = f - A u on the owned planes.
+func residualSlab(sl *mgSlab) {
+	n := sl.u.N
+	h2 := 1.0 / float64(n*n)
+	s := n + 1
+	for i := sl.lo; i <= sl.hi; i++ {
+		for j := 1; j < n; j++ {
+			for k := 1; k < n; k++ {
+				c := sl.u.Idx(i, j, k)
+				lap := (6*sl.u.V[c] - sl.u.V[c-1] - sl.u.V[c+1] -
+					sl.u.V[c-s] - sl.u.V[c+s] - sl.u.V[c-s*s] - sl.u.V[c+s*s]) / h2
+				sl.r.V[c] = sl.f.V[c] - lap
+			}
+		}
+	}
+}
+
+// restrictSlab full-weights the fine residual into the coarse forcing.
+func restrictSlab(fine, coarse *mgSlab) {
+	nc := coarse.f.N
+	w1 := [3]float64{0.25, 0.5, 0.25}
+	for i := coarse.lo; i <= coarse.hi; i++ {
+		for j := 1; j < nc; j++ {
+			for k := 1; k < nc; k++ {
+				sum := 0.0
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							w := w1[di+1] * w1[dj+1] * w1[dk+1]
+							sum += w * fine.r.V[fine.r.Idx(2*i+di, 2*j+dj, 2*k+dk)]
+						}
+					}
+				}
+				coarse.f.V[coarse.f.Idx(i, j, k)] = sum
+			}
+		}
+	}
+}
+
+// prolongSlab adds the trilinear coarse correction into the fine planes.
+func prolongSlab(coarse, fine *mgSlab) {
+	n := fine.u.N
+	for i := fine.lo; i <= fine.hi; i++ {
+		for j := 1; j < n; j++ {
+			for k := 1; k < n; k++ {
+				v := 0.0
+				i0, iw := i/2, 1.0
+				j0, jw := j/2, 1.0
+				k0, kw := k/2, 1.0
+				iOdd, jOdd, kOdd := i%2 == 1, j%2 == 1, k%2 == 1
+				if iOdd {
+					iw = 0.5
+				}
+				if jOdd {
+					jw = 0.5
+				}
+				if kOdd {
+					kw = 0.5
+				}
+				for di := 0; di <= b2i(iOdd); di++ {
+					for dj := 0; dj <= b2i(jOdd); dj++ {
+						for dk := 0; dk <= b2i(kOdd); dk++ {
+							v += iw * jw * kw * coarse.u.V[coarse.u.Idx(i0+di, j0+dj, k0+dk)]
+						}
+					}
+				}
+				fine.u.V[fine.u.Idx(i, j, k)] += v
+			}
+		}
+	}
+}
+
+// vcycleMPI runs one V-cycle from distributed level l.
+func (st *mgRankState) vcycleMPI(l int) {
+	sl := st.levels[l]
+	for s := 0; s < 2; s++ {
+		st.exchangeHalo(sl.u, sl.lo, sl.hi)
+		smoothSlab(sl)
+	}
+	st.exchangeHalo(sl.u, sl.lo, sl.hi)
+	residualSlab(sl)
+
+	if l == len(st.levels)-1 {
+		// Coarse remainder on rank 0.
+		st.coarseSolve(sl)
+	} else {
+		next := st.levels[l+1]
+		for i := range next.u.V {
+			next.u.V[i] = 0
+		}
+		st.exchangeHalo(sl.r, sl.lo, sl.hi)
+		restrictSlab(sl, next)
+		st.vcycleMPI(l + 1)
+		st.exchangeHalo(next.u, next.lo, next.hi)
+		prolongSlab(next, sl)
+	}
+
+	for s := 0; s < 2; s++ {
+		st.exchangeHalo(sl.u, sl.lo, sl.hi)
+		smoothSlab(sl)
+	}
+}
+
+// coarseSolve gathers the last distributed level's residual to rank 0,
+// runs the remaining serial V-cycle there (restriction, recursion and
+// prolongation included via the serial hierarchy), and scatters the
+// resulting correction back, adding it into the distributed level's u.
+func (st *mgRankState) coarseSolve(sl *mgSlab) {
+	r := st.rank
+	n := sl.r.N
+	s := n + 1
+	// Gather every rank's residual planes to rank 0. Blocks must be
+	// equal-sized, so every rank ships exactly n/ranks planes starting
+	// at lo; for the last rank the final plane is the (zero) boundary.
+	per := n / st.ranks
+	mine := sl.r.V[sl.r.Idx(sl.lo, 0, 0):sl.r.Idx(sl.lo+per, 0, 0)]
+	full := r.Gather(0, planeToBytes(mine))
+	if r.ID() == 0 {
+		// Assemble the full residual as the coarse problem's forcing:
+		// restrict it one level and run the serial hierarchy below.
+		rFull := NewMGGrid(n)
+		blockLen := per * s * s
+		for id := 0; id < st.ranks; id++ {
+			lo, _ := slabRange(n, st.ranks, id)
+			src := bytesToF64Buf(full[id*blockLen*8 : (id+1)*blockLen*8])
+			copy(rFull.V[rFull.Idx(lo, 0, 0):rFull.Idx(lo+per, 0, 0)], src)
+		}
+		// The serial hierarchy starts at n/2 (the next coarser level).
+		h := st.serial
+		MGRestrict(rFull, h.f[0])
+		for i := range h.u[0].V {
+			h.u[0].V[i] = 0
+		}
+		h.vcycle(0, nil, false)
+		// Prolong the correction to level n and broadcast it.
+		corr := NewMGGrid(n)
+		MGProlong(h.u[0], corr)
+		payload := planeToBytes(corr.V)
+		r.Bcast(0, payload)
+		for i := range corr.V {
+			sl.u.V[i] += corr.V[i]
+		}
+	} else {
+		payload := r.Bcast(0, make([]byte, len(sl.u.V)*8))
+		corr := bytesToF64Buf(payload)
+		// Apply only to owned planes (+ ghosts refreshed later anyway).
+		for i := sl.u.Idx(sl.lo-1, 0, 0); i < sl.u.Idx(sl.hi+1, 0, 0)+s*s && i < len(corr); i++ {
+			sl.u.V[i] += corr[i]
+		}
+	}
+}
+
+// RunMGMPI runs the MG benchmark with `ranks` MPI ranks. n must be a
+// power of two >= 8 and divisible by 2*ranks (so at least the finest two
+// levels are distributed).
+func RunMGMPI(n, cycles, ranks int) (MGResult, error) {
+	if n < 8 || n&(n-1) != 0 {
+		return MGResult{}, fmt.Errorf("npb: MG grid %d must be a power of two >= 8", n)
+	}
+	if cycles < 1 {
+		return MGResult{}, fmt.Errorf("npb: MG needs at least one cycle")
+	}
+	if ranks < 1 || n%(2*ranks) != 0 {
+		return MGResult{}, fmt.Errorf("npb: %d ranks must divide n/2 = %d", ranks, n/2)
+	}
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: simmpi.HostPlacement(ranks, 1)})
+	if err != nil {
+		return MGResult{}, err
+	}
+	res := MGResult{ResidualNorms: make([]float64, cycles)}
+	err = w.Run(func(r *simmpi.Rank) {
+		st := &mgRankState{rank: r, ranks: ranks}
+		// Distributed levels: while the slab keeps >= 2 planes per rank
+		// and divides evenly.
+		for lvl := n; lvl%ranks == 0 && lvl/ranks >= 2 && lvl > 2; lvl /= 2 {
+			lo, hi := slabRange(lvl, ranks, r.ID())
+			st.levels = append(st.levels, &mgSlab{
+				u: NewMGGrid(lvl), f: NewMGGrid(lvl), r: NewMGGrid(lvl),
+				tmp: NewMGGrid(lvl), lo: lo, hi: hi,
+			})
+			st.serialTop = lvl
+		}
+		if r.ID() == 0 {
+			st.serial = newHierarchy(st.serialTop / 2)
+		}
+		// Forcing: the shared RANDLC stream in the serial kernel's plane
+		// order, seekable per slab (one draw per interior point).
+		fine := st.levels[0]
+		ptsPerPlane := (n - 1) * (n - 1)
+		seed := RandSeek(DefaultSeed, int64((fine.lo-1)*ptsPerPlane))
+		for i := fine.lo; i <= fine.hi; i++ {
+			for j := 1; j < n; j++ {
+				for k := 1; k < n; k++ {
+					fine.f.V[fine.f.Idx(i, j, k)] = Randlc(&seed, MultA) - 0.5
+				}
+			}
+		}
+		for c := 0; c < cycles; c++ {
+			st.vcycleMPI(0)
+			st.exchangeHalo(fine.u, fine.lo, fine.hi)
+			residualSlab(fine)
+			sum := 0.0
+			for i := fine.lo; i <= fine.hi; i++ {
+				for j := 1; j < n; j++ {
+					for k := 1; k < n; k++ {
+						v := fine.r.V[fine.r.Idx(i, j, k)]
+						sum += v * v
+					}
+				}
+			}
+			tot := r.AllreduceSum(sum)
+			if r.ID() == 0 {
+				res.ResidualNorms[c] = math.Sqrt(tot / float64((n-1)*(n-1)*(n-1)))
+			}
+		}
+	})
+	return res, err
+}
+
+// planeToBytes / bytesToPlane move float64 planes through the byte
+// transport without allocations beyond the message buffer.
+func planeToBytes(v []float64) []byte { return f64ToBytesBuf(v) }
+
+func bytesToPlane(b []byte, out []float64) {
+	copy(out, bytesToF64Buf(b))
+}

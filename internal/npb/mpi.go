@@ -1,0 +1,224 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/simmpi"
+	"maia/internal/vclock"
+)
+
+// MPI driver (Figure 20): each benchmark's per-iteration communication
+// pattern runs for real through the simmpi runtime (one representative
+// iteration; iterations are identical, so the total is iters times the
+// per-iteration makespan), with the rank's compute share charged from
+// the core model.
+
+// ErrOOM is returned when a benchmark does not fit in the target
+// device's memory — the paper's FT-on-Phi case (Section 6.8.2) and the
+// large-message Alltoall failures (Figure 14).
+var ErrOOM = fmt.Errorf("npb: problem does not fit in device memory")
+
+// ValidRankCount reports whether the benchmark accepts this many ranks:
+// powers of two for CG, MG, FT, LU; perfect squares for BT and SP.
+func ValidRankCount(b Benchmark, ranks int) bool {
+	if ranks < 1 {
+		return false
+	}
+	switch b {
+	case BT, SP:
+		r := int(math.Round(math.Sqrt(float64(ranks))))
+		return r*r == ranks
+	case CG, MG, FT, LU:
+		return ranks&(ranks-1) == 0
+	default:
+		return true
+	}
+}
+
+// MPIResult is one MPI-mode datapoint of Figure 20.
+type MPIResult struct {
+	Bench  Benchmark
+	Class  Class
+	Device machine.Device
+	Ranks  int
+	Time   vclock.Time
+	Gflops float64
+}
+
+// MPIRun prices benchmark b at class c with `ranks` MPI ranks on dev.
+// On the Phi, ranks beyond 59 oversubscribe cores with hardware threads
+// (64 ranks ≈ 2 per core, 128 ≈ 3, 225+ ≈ 4).
+func MPIRun(m core.Model, b Benchmark, c Class, dev machine.Device, ranks int, node *machine.Node) (MPIResult, error) {
+	if !ValidRankCount(b, ranks) {
+		return MPIResult{}, fmt.Errorf("npb: %v does not accept %d ranks", b, ranks)
+	}
+	w, err := Profile(b, c)
+	if err != nil {
+		return MPIResult{}, err
+	}
+	s, err := SizeOf(b, c)
+	if err != nil {
+		return MPIResult{}, err
+	}
+	mem, err := MemoryBytes(b, c)
+	if err != nil {
+		return MPIResult{}, err
+	}
+	var devMem int64
+	var part machine.Partition
+	var tpc int
+	if dev.IsPhi() {
+		devMem = int64(node.PhiProc.MemGB) << 30
+		part = machine.PhiThreadsPartition(node, dev, ranks)
+		tpc = part.ThreadsPerCore
+	} else {
+		devMem = int64(node.HostMemGB) << 30
+		threadsPerCore := 1
+		if ranks > node.HostCores() {
+			threadsPerCore = 2
+		}
+		cores := ranks
+		if cores > node.HostCores() {
+			cores = node.HostCores()
+		}
+		part = machine.HostCoresPartition(node, cores, threadsPerCore)
+		tpc = threadsPerCore
+	}
+	// MPI ranks add a fixed per-rank library footprint on top of the
+	// problem's arrays.
+	if mem+int64(ranks)*(25<<20) > devMem {
+		return MPIResult{}, fmt.Errorf("%w: %v.%v needs %.1f GB + MPI overhead, device has %d GB",
+			ErrOOM, b, c, float64(mem)/(1<<30), devMem>>30)
+	}
+
+	// Compute share per iteration, identical on every rank (the NPB
+	// decompositions are balanced).
+	computePerIter := m.Time(w, part) / vclock.Time(s.Iters)
+
+	cfg := simmpi.Config{}
+	if dev.IsPhi() {
+		cfg.Ranks = simmpi.PhiPlacement(dev, ranks, tpc)
+	} else {
+		cfg.Ranks = simmpi.HostPlacement(ranks, tpc)
+	}
+	world, err := simmpi.NewWorld(cfg)
+	if err != nil {
+		return MPIResult{}, err
+	}
+	if err := world.Run(func(r *simmpi.Rank) {
+		iterationScript(b, s, computePerIter, r)
+	}); err != nil {
+		return MPIResult{}, err
+	}
+	total := world.MaxTime() * vclock.Time(s.Iters)
+
+	return MPIResult{
+		Bench: b, Class: c, Device: dev, Ranks: ranks,
+		Time:   total,
+		Gflops: w.Flops / total.Seconds() / 1e9,
+	}, nil
+}
+
+// iterationScript runs ONE representative iteration of the benchmark's
+// communication pattern on rank r, with the compute share charged along
+// the way. Payload sizes follow the benchmark's decomposition.
+func iterationScript(b Benchmark, s Size, compute vclock.Time, r *simmpi.Rank) {
+	n := r.Size()
+	id := r.ID()
+	pts := float64(s.Points())
+	switch b {
+	case EP:
+		r.Compute(compute)
+		r.Allreduce(make([]float64, 12), simmpi.OpSum) // sx, sy, q[10]
+	case CG:
+		// 25 CG steps: halo exchange with the transpose partner for the
+		// matvec, then three dot-product allreduces.
+		rowBytes := int(8 * float64(s.N) / math.Sqrt(float64(n)))
+		partner := id ^ 1
+		for step := 0; step < 25; step++ {
+			r.Compute(compute / 25)
+			if n > 1 {
+				r.Sendrecv(partner, 0, make([]byte, rowBytes), partner, 0)
+			}
+			for d := 0; d < 3; d++ {
+				r.AllreduceSum(1)
+			}
+		}
+	case MG:
+		// Halo exchanges on every level: 6 faces, shrinking with level.
+		levels := log2(s.Grid[0]) - 1
+		sub := pts / float64(n)
+		face := math.Pow(sub, 2.0/3.0)
+		for l := 0; l < levels; l++ {
+			r.Compute(compute / vclock.Time(levels))
+			faceBytes := int(8 * face / float64(int(1)<<(2*l)))
+			if faceBytes < 8 {
+				faceBytes = 8
+			}
+			if n > 1 {
+				right := (id + 1) % n
+				left := (id - 1 + n) % n
+				for f := 0; f < 3; f++ {
+					r.Sendrecv(right, f, make([]byte, faceBytes), left, f)
+				}
+			}
+		}
+		r.AllreduceSum(1)
+	case FT:
+		// The 3D FFT transpose: one all-to-all of the full grid per
+		// iteration, in n blocks per rank.
+		r.Compute(compute)
+		block := int(16 * pts / float64(n) / float64(n))
+		if block < 16 {
+			block = 16
+		}
+		r.Alltoall(make([]byte, n*block), block)
+	case IS:
+		r.Compute(compute)
+		block := int(4 * float64(s.N) / float64(n) / float64(n))
+		if block < 4 {
+			block = 4
+		}
+		r.Alltoall(make([]byte, n*block), block)
+		r.Allreduce(make([]float64, 4), simmpi.OpSum)
+	case LU:
+		// Wavefront pipeline: each hyperplane's boundary flows to the
+		// next rank; two sweeps per iteration.
+		planes := 2 * s.Grid[0]
+		msg := int(8 * ncomp * float64(s.Grid[0]))
+		for p := 0; p < planes; p++ {
+			if id > 0 {
+				r.Recv(id-1, p)
+			}
+			r.Compute(compute / vclock.Time(planes))
+			if id < n-1 {
+				r.Send(id+1, p, make([]byte, msg))
+			}
+		}
+	case BT, SP:
+		// Square process grid: face exchanges with four neighbors per
+		// directional sweep.
+		side := int(math.Round(math.Sqrt(float64(n))))
+		row, col := id/side, id%side
+		faceBytes := int(8 * ncomp * math.Pow(pts/float64(n), 2.0/3.0))
+		for dim := 0; dim < 3; dim++ {
+			r.Compute(compute / 3)
+			if n == 1 {
+				continue
+			}
+			rightCol := row*side + (col+1)%side
+			leftCol := row*side + (col-1+side)%side
+			downRow := ((row+1)%side)*side + col
+			upRow := ((row-1+side)%side)*side + col
+			if rightCol != id {
+				r.Sendrecv(rightCol, dim, make([]byte, faceBytes), leftCol, dim)
+			}
+			if downRow != id {
+				r.Sendrecv(downRow, 100+dim, make([]byte, faceBytes), upRow, 100+dim)
+			}
+		}
+	}
+}

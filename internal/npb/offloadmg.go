@@ -1,0 +1,165 @@
+package npb
+
+import (
+	"fmt"
+
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/offload"
+	"maia/internal/vclock"
+)
+
+// The offload-mode MG experiments (Sections 6.9.1.4–6.9.1.6, Figures
+// 25–27): the paper ports NPB MG to offload mode in three granularities
+// and shows the offload overhead — dominated by PCIe data motion — buries
+// the coprocessor's gains.
+
+// MGOffloadVariant selects which region of MG is offloaded.
+type MGOffloadVariant int
+
+const (
+	// OffloadLoop offloads the most time-consuming do-loop inside the
+	// resid subroutine: the least data per occurrence, but the most
+	// occurrences and the most total data.
+	OffloadLoop MGOffloadVariant = iota
+	// OffloadSubroutine offloads all of resid: fewer occurrences, less
+	// total data.
+	OffloadSubroutine
+	// OffloadWhole offloads the entire computation: input data crosses
+	// PCIe once and results come back once.
+	OffloadWhole
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (v MGOffloadVariant) String() string {
+	switch v {
+	case OffloadLoop:
+		return "offload one OpenMP loop"
+	case OffloadSubroutine:
+		return "offload subroutine"
+	case OffloadWhole:
+		return "offload whole computation"
+	default:
+		return fmt.Sprintf("MGOffloadVariant(%d)", int(v))
+	}
+}
+
+// MGOffloadVariants lists the three versions in Figure 25 order.
+func MGOffloadVariants() []MGOffloadVariant {
+	return []MGOffloadVariant{OffloadLoop, OffloadSubroutine, OffloadWhole}
+}
+
+// MGOffloadResult is one offload-mode MG datapoint.
+type MGOffloadResult struct {
+	Variant MGOffloadVariant
+	Report  offload.Report
+	Time    vclock.Time
+	Gflops  float64
+}
+
+// MGOffload prices offload-mode MG at class c, offloading to a
+// 177-thread Phi0 partition (the native-mode sweet spot).
+func MGOffload(m core.Model, c Class, node *machine.Node, variant MGOffloadVariant) (MGOffloadResult, error) {
+	s, err := SizeOf(MG, c)
+	if err != nil {
+		return MGOffloadResult{}, err
+	}
+	w, err := Profile(MG, c)
+	if err != nil {
+		return MGOffloadResult{}, err
+	}
+	part := machine.PhiThreadsPartition(node, machine.Phi0, 177)
+	// Offloaded kernels run noticeably below native Phi speed: every
+	// OpenMP region inside the offloaded code dispatches through the COI
+	// offload runtime, and a host proxy thread participates in each
+	// region's lifecycle. Figure 25 shows the whole-computation offload
+	// at roughly half of native Phi throughput; that gap is this derate.
+	const offloadKernelEff = 0.55
+	kernelTotal := m.Time(w, part) / offloadKernelEff
+
+	gridBytes := int64(8 * s.Points())
+	levels := int64(log2(s.Grid[0]) - 1)
+	if levels < 1 {
+		levels = 1
+	}
+
+	// Transfer plan per V-cycle, by variant. The loop variant re-ships
+	// its operand grids on every one of its many small offloads; the
+	// subroutine variant ships whole grids a few times; the whole-program
+	// variant ships only initial input and final output.
+	type plan struct {
+		invocationsPerCycle int64
+		inPerInv, outPerInv int64
+		oneShot             bool
+	}
+	var p plan
+	switch variant {
+	case OffloadLoop:
+		p = plan{invocationsPerCycle: 8 * levels, inPerInv: 2 * gridBytes / levels, outPerInv: gridBytes / levels}
+	case OffloadSubroutine:
+		p = plan{invocationsPerCycle: 2, inPerInv: 2 * gridBytes, outPerInv: gridBytes}
+	case OffloadWhole:
+		p = plan{invocationsPerCycle: 1, inPerInv: gridBytes, outPerInv: gridBytes, oneShot: true}
+	default:
+		return MGOffloadResult{}, fmt.Errorf("npb: unknown offload variant %d", int(variant))
+	}
+
+	eng := offload.NewEngine(offload.DefaultConfig())
+	var total vclock.Time
+	cycles := int64(s.Iters)
+	if p.oneShot {
+		t, err := eng.Offload(p.inPerInv, p.outPerInv, kernelTotal, nil)
+		if err != nil {
+			return MGOffloadResult{}, err
+		}
+		total = t
+	} else {
+		kernelPerInv := kernelTotal / vclock.Time(cycles*p.invocationsPerCycle)
+		for inv := int64(0); inv < cycles*p.invocationsPerCycle; inv++ {
+			t, err := eng.Offload(p.inPerInv, p.outPerInv, kernelPerInv, nil)
+			if err != nil {
+				return MGOffloadResult{}, err
+			}
+			total += t
+		}
+	}
+	return MGOffloadResult{
+		Variant: variant,
+		Report:  eng.Report(),
+		Time:    total,
+		Gflops:  w.Flops / total.Seconds() / 1e9,
+	}, nil
+}
+
+// MGOffloadPipelined is the mitigation the paper's conclusions point
+// toward: the subroutine-granularity offload with its transfers
+// double-buffered against kernel execution (signal/wait offload
+// clauses). Same data, same invocations, overlapped schedule.
+func MGOffloadPipelined(m core.Model, c Class, node *machine.Node) (MGOffloadResult, error) {
+	s, err := SizeOf(MG, c)
+	if err != nil {
+		return MGOffloadResult{}, err
+	}
+	w, err := Profile(MG, c)
+	if err != nil {
+		return MGOffloadResult{}, err
+	}
+	part := machine.PhiThreadsPartition(node, machine.Phi0, 177)
+	const offloadKernelEff = 0.55
+	kernelTotal := m.Time(w, part) / offloadKernelEff
+
+	gridBytes := int64(8 * s.Points())
+	chunks := 2 * s.Iters // the subroutine variant's invocation count
+	eng := offload.NewEngine(offload.DefaultConfig())
+	total, err := eng.OffloadPipelined(chunks, 2*gridBytes, gridBytes,
+		kernelTotal/vclock.Time(chunks), nil)
+	if err != nil {
+		return MGOffloadResult{}, err
+	}
+	return MGOffloadResult{
+		Variant: OffloadSubroutine,
+		Report:  eng.Report(),
+		Time:    total,
+		Gflops:  w.Flops / total.Seconds() / 1e9,
+	}, nil
+}

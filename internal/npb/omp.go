@@ -1,0 +1,187 @@
+package npb
+
+import (
+	"maia/internal/core"
+	"maia/internal/machine"
+	"maia/internal/simomp"
+	"maia/internal/vclock"
+)
+
+// OpenMP driver: prices a full NPB OpenMP-mode run (Figure 19) as the
+// core-model compute time plus the per-iteration OpenMP region overheads
+// of the benchmark's loop structure, using the simomp overhead model.
+
+// regionStructure returns the per-iteration count of parallel-for
+// regions and of reduction regions, from each benchmark's loop
+// structure. LU's wavefront sweeps spawn a region per hyperplane, which
+// is exactly why its runtime overhead explodes at 236 threads.
+func regionStructure(b Benchmark, s Size) (regions, reductions int) {
+	n := s.Grid[0]
+	switch b {
+	case EP:
+		return 1, 1
+	case CG:
+		// 25 CG steps: matvec + 2 axpy regions, 3 dot reductions each.
+		return 25 * 3, 25 * 3
+	case MG:
+		// Per V-cycle: ~5 stencil regions per level.
+		levels := log2(n) - 1
+		if levels < 1 {
+			levels = 1
+		}
+		return 5 * levels, 1
+	case FT:
+		return 4, 1 // three pencil passes + evolve, checksum reduction
+	case IS:
+		return 2, 1
+	case BT, SP:
+		return 4, 0 // forcing + three directional sweeps
+	case LU:
+		// Two SSOR sweeps, one region per i+j+k hyperplane.
+		return 2 * (3*(n-1) + 1), 1
+	default:
+		return 1, 0
+	}
+}
+
+// OMPResult is one OpenMP-mode datapoint of Figure 19.
+type OMPResult struct {
+	Bench     Benchmark
+	Class     Class
+	Partition machine.Partition
+	Time      vclock.Time
+	Gflops    float64
+}
+
+// OMPTime prices benchmark b at class c on the partition.
+func OMPTime(m core.Model, b Benchmark, c Class, part machine.Partition) (OMPResult, error) {
+	w, err := Profile(b, c)
+	if err != nil {
+		return OMPResult{}, err
+	}
+	s, err := SizeOf(b, c)
+	if err != nil {
+		return OMPResult{}, err
+	}
+	compute := m.Time(w, part)
+
+	rt := simomp.New(part)
+	regions, reductions := regionStructure(b, s)
+	perIter := vclock.Time(regions)*rt.SyncOverhead(simomp.ParallelFor) +
+		vclock.Time(reductions)*rt.SyncOverhead(simomp.Reduction)
+	total := compute + vclock.Time(s.Iters)*perIter
+
+	return OMPResult{
+		Bench: b, Class: c, Partition: part,
+		Time:   total,
+		Gflops: w.Flops / total.Seconds() / 1e9,
+	}, nil
+}
+
+// OMPThreadSweep returns the Figure 19 series for one benchmark on the
+// Phi: Gflop/s at 1–4 threads per core (59/118/177/236 threads), plus
+// the host reference at one thread per core.
+func OMPThreadSweep(m core.Model, b Benchmark, c Class, node *machine.Node) (host OMPResult, phi []OMPResult, err error) {
+	host, err = OMPTime(m, b, c, machine.HostPartition(node, 1))
+	if err != nil {
+		return OMPResult{}, nil, err
+	}
+	for _, threads := range []int{59, 118, 177, 236} {
+		r, err := OMPTime(m, b, c, machine.PhiThreadsPartition(node, machine.Phi0, threads))
+		if err != nil {
+			return OMPResult{}, nil, err
+		}
+		phi = append(phi, r)
+	}
+	return host, phi, nil
+}
+
+// BestPhi returns the best Phi datapoint of a sweep.
+func BestPhi(phi []OMPResult) OMPResult {
+	best := phi[0]
+	for _, r := range phi[1:] {
+		if r.Gflops > best.Gflops {
+			best = r
+		}
+	}
+	return best
+}
+
+// MGCollapseTime prices the Figure 24 experiment: MG with and without
+// collapsing the outer two loops of every stencil sweep. The effect is
+// pure scheduling granularity, so it is computed by actually scheduling
+// each level's loop through the simomp machinery: uncollapsed loops have
+// only `level` iterations — fewer than the Phi's thread count on all but
+// the finest grids — while collapsed loops have level² iterations and
+// divide evenly.
+func MGCollapseTime(m core.Model, c Class, part machine.Partition, collapse bool) (vclock.Time, error) {
+	s, err := SizeOf(MG, c)
+	if err != nil {
+		return 0, err
+	}
+	w, err := Profile(MG, c)
+	if err != nil {
+		return 0, err
+	}
+	n := s.Grid[0]
+
+	// Split the V-cycle's work across levels: level g (size g³) carries
+	// work proportional to g³; all levels together sum to ~8/7 of the
+	// finest.
+	var levelSizes []int
+	totalPts := 0.0
+	for g := n; g >= 4; g /= 2 {
+		levelSizes = append(levelSizes, g)
+		totalPts += float64(g) * float64(g) * float64(g)
+	}
+	// Ideal compute time for the whole run, to be distributed over
+	// levels and iterations.
+	ideal := m.Time(w, part)
+
+	rt := simomp.New(part)
+	team := simomp.NewTeam(rt)
+	const regionsPerLevel = 5
+	var perCycle vclock.Time
+	for _, g := range levelSizes {
+		pts := float64(g) * float64(g) * float64(g)
+		levelTime := ideal * vclock.Time(pts/totalPts) / vclock.Time(s.Iters)
+		for rgn := 0; rgn < regionsPerLevel; rgn++ {
+			// rgnTime is the region's PARALLEL span on a perfectly
+			// balanced schedule; the per-iteration serial cost is that
+			// span times the team width divided by the iteration count,
+			// so static-schedule rounding (ceil(iters/threads) chunks)
+			// surfaces as the imbalance the collapse removes.
+			rgnTime := levelTime / regionsPerLevel
+			var iters int
+			if collapse {
+				iters = g * g
+			} else {
+				iters = g
+			}
+			iterCost := rgnTime * vclock.Time(part.Threads()) / vclock.Time(iters)
+			if collapse {
+				// Fused loops recompute both indices per iteration.
+				iterCost *= 1.015
+			}
+			perCycle += team.ParallelFor(iters, simomp.ForOpts{
+				Sched:    simomp.Static,
+				IterCost: iterCost,
+			}, nil)
+		}
+	}
+	return vclock.Time(s.Iters) * perCycle, nil
+}
+
+// MGCollapseGflops converts MGCollapseTime into the Gflop/s Figure 24
+// reports.
+func MGCollapseGflops(m core.Model, c Class, part machine.Partition, collapse bool) (float64, error) {
+	t, err := MGCollapseTime(m, c, part, collapse)
+	if err != nil {
+		return 0, err
+	}
+	w, err := Profile(MG, c)
+	if err != nil {
+		return 0, err
+	}
+	return w.Flops / t.Seconds() / 1e9, nil
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package npb
+
+// raceEnabled reports whether the race detector is active; the heaviest
+// allocation tests (FT class C materializes gigabytes of buffers) are
+// skipped under it, since the detector's shadow memory multiplies their
+// footprint past small machines.
+const raceEnabled = true

@@ -1,0 +1,72 @@
+package npb
+
+// NPB's portable linear congruential generator: x_{k+1} = a*x_k mod 2^46
+// with a = 5^13. The modular product is computed exactly in float64
+// pieces, as in the reference Fortran RANDLC, so the Go kernels generate
+// the same pseudo-random sequences as the original suite.
+
+const (
+	// r23..t46 are the RANDLC scaling constants.
+	r23 = 1.0 / 8388608.0 // 2^-23
+	r46 = r23 * r23       // 2^-46
+	t23 = 8388608.0       // 2^23
+	t46 = t23 * t23       // 2^46
+	// DefaultSeed is the suite's standard starting seed.
+	DefaultSeed = 314159265.0
+	// MultA is the standard multiplier a = 5^13.
+	MultA = 1220703125.0
+)
+
+// Randlc advances *x one LCG step and returns a uniform deviate in
+// (0, 1). It is the exact NPB algorithm: the 46-bit product a*x is formed
+// from 23-bit halves.
+func Randlc(x *float64, a float64) float64 {
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	t1 = r23 * *x
+	x1 := float64(int64(t1))
+	x2 := *x - t23*x1
+
+	t1 = a1*x2 + a2*x1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := float64(int64(r46 * t3))
+	*x = t3 - t46*t4
+	return r46 * *x
+}
+
+// RandSeek returns the seed x_k reached after k steps from seed, in
+// O(log k) time — the trick NPB's EP uses to give each worker an
+// independent, reproducible block of the stream.
+func RandSeek(seed float64, k int64) float64 {
+	x := seed
+	a := MultA
+	for k > 0 {
+		if k&1 == 1 {
+			advance(&x, a)
+		}
+		a = squareMult(a)
+		k >>= 1
+	}
+	return x
+}
+
+// advance does x = a*x mod 2^46 in place.
+func advance(x *float64, a float64) { Randlc(x, a) }
+
+// squareMult returns a*a mod 2^46.
+func squareMult(a float64) float64 {
+	x := a
+	Randlc(&x, a)
+	return x
+}
+
+// VRandlc fills out with n uniform deviates, advancing *x.
+func VRandlc(x *float64, a float64, out []float64) {
+	for i := range out {
+		out[i] = Randlc(x, a)
+	}
+}

@@ -1,0 +1,104 @@
+package offload
+
+import (
+	"testing"
+
+	"maia/internal/vclock"
+)
+
+// Pipelined offload must beat the equivalent sequence of synchronous
+// offloads whenever there is more than one chunk to overlap.
+func TestPipelinedBeatsSynchronous(t *testing.T) {
+	const chunks = 16
+	const in, out = 8 << 20, 8 << 20
+	kernel := 2 * vclock.Millisecond
+
+	sync := NewEngine(DefaultConfig())
+	var syncTotal vclock.Time
+	for k := 0; k < chunks; k++ {
+		tt, err := sync.Offload(in, out, kernel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncTotal += tt
+	}
+	async := NewEngine(DefaultConfig())
+	asyncTotal, err := async.OffloadPipelined(chunks, in, out, kernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asyncTotal >= syncTotal {
+		t.Fatalf("pipelined (%v) should beat synchronous (%v)", asyncTotal, syncTotal)
+	}
+	if speedup := syncTotal.Seconds() / asyncTotal.Seconds(); speedup < 1.3 {
+		t.Errorf("pipelining speedup = %.2fx, want meaningful overlap", speedup)
+	}
+	// Same work was accounted: ledgers agree on volumes and kernel time.
+	if sync.Report().BytesIn != async.Report().BytesIn ||
+		sync.Report().KernelTime != async.Report().KernelTime ||
+		sync.Report().Invocations != async.Report().Invocations {
+		t.Fatalf("ledgers diverge: sync %+v async %+v", sync.Report(), async.Report())
+	}
+}
+
+// The pipeline can never beat its slowest stage times the chunk count.
+func TestPipelinedLowerBound(t *testing.T) {
+	const chunks = 8
+	const in, out = 4 << 20, 2 << 20
+	kernel := 5 * vclock.Millisecond
+	e := NewEngine(DefaultConfig())
+	total, err := e.OffloadPipelined(chunks, in, out, kernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < vclock.Time(chunks)*kernel {
+		t.Fatalf("pipeline (%v) beat the kernel-stage bound (%v)", total, vclock.Time(chunks)*kernel)
+	}
+}
+
+func TestPipelinedBodyRunsInOrder(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	var order []int
+	if _, err := e.OffloadPipelined(5, 0, 0, vclock.Microsecond, func(k int) {
+		order = append(order, k)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range order {
+		if k != i {
+			t.Fatalf("chunk order %v", order)
+		}
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	if _, err := e.OffloadPipelined(0, 1, 1, 0, nil); err == nil {
+		t.Error("zero chunks accepted")
+	}
+	if _, err := e.OffloadPipelined(1, -1, 0, 0, nil); err == nil {
+		t.Error("negative bytes accepted")
+	}
+	if _, err := e.OffloadPipelined(1, 0, 0, -vclock.Nanosecond, nil); err == nil {
+		t.Error("negative kernel accepted")
+	}
+}
+
+// One chunk cannot overlap anything: pipelined time matches a single
+// synchronous offload to within the scheduling model's bookkeeping.
+func TestPipelinedSingleChunk(t *testing.T) {
+	in, out := int64(1<<20), int64(1<<20)
+	kernel := vclock.Millisecond
+	syncT, err := NewEngine(DefaultConfig()).Offload(in, out, kernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncT, err := NewEngine(DefaultConfig()).OffloadPipelined(1, in, out, kernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := asyncT.Seconds() / syncT.Seconds()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("single-chunk pipelined %v vs sync %v", asyncT, syncT)
+	}
+}

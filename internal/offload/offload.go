@@ -1,0 +1,140 @@
+// Package offload models the Intel offload programming mode (Section 4.1,
+// Figures 25–27): a host program marks regions that execute on a Phi, and
+// the runtime moves the region's data over PCIe around each invocation.
+//
+// Each offload invocation is charged three cost components, matching the
+// decomposition the paper extracts with OFFLOAD_REPORT (Section 6.9.1.4):
+//
+//   - host side: per-invocation setup plus gathering the input data into
+//     pinned transfer buffers;
+//   - PCIe: the DMA transfer of inputs (host to Phi) and outputs (Phi to
+//     host) through the package pcie offload-DMA model;
+//   - Phi side: per-invocation setup plus scattering the data into the
+//     coprocessor's memory.
+//
+// The kernel's own execution time on the Phi is supplied by the caller
+// (computed by the core execution model), so the engine cleanly separates
+// "offload overhead" from "useful work" — exactly the split Figure 26
+// plots.
+package offload
+
+import (
+	"fmt"
+
+	"maia/internal/pcie"
+	"maia/internal/vclock"
+)
+
+// Config holds the calibrated per-side costs of the offload runtime.
+type Config struct {
+	DMA  pcie.DMAConfig
+	Path pcie.Path
+
+	// HostSetup and PhiSetup are fixed per-invocation costs (pragma
+	// dispatch, descriptor exchange, signal handling).
+	HostSetup vclock.Time
+	PhiSetup  vclock.Time
+
+	// HostCopyGBs and PhiCopyGBs are the memcpy rates for
+	// gathering/scattering offload buffers on each side.
+	HostCopyGBs float64
+	PhiCopyGBs  float64
+}
+
+// DefaultConfig returns the calibration used for Figures 25–27.
+func DefaultConfig() Config {
+	return Config{
+		DMA:         pcie.DefaultDMAConfig(),
+		Path:        pcie.HostPhi0,
+		HostSetup:   40 * vclock.Microsecond,
+		PhiSetup:    60 * vclock.Microsecond,
+		HostCopyGBs: 10.0,
+		PhiCopyGBs:  20.0,
+	}
+}
+
+// Report is the OFFLOAD_REPORT-style ledger of an engine: cumulative
+// counts and the three overhead components of Figure 26.
+type Report struct {
+	Invocations int
+	BytesIn     int64 // host -> Phi
+	BytesOut    int64 // Phi -> host
+
+	HostTime     vclock.Time // setup + gather/scatter on the host
+	TransferTime vclock.Time // PCIe DMA, both directions
+	PhiTime      vclock.Time // setup + gather/scatter on the Phi
+	KernelTime   vclock.Time // useful work on the coprocessor
+}
+
+// Overhead returns the total non-kernel time.
+func (r Report) Overhead() vclock.Time {
+	return r.HostTime + r.TransferTime + r.PhiTime
+}
+
+// Total returns overhead plus kernel time.
+func (r Report) Total() vclock.Time { return r.Overhead() + r.KernelTime }
+
+// String summarizes the ledger in an OFFLOAD_REPORT-like line.
+func (r Report) String() string {
+	return fmt.Sprintf("offloads=%d in=%dB out=%dB host=%v pcie=%v phi=%v kernel=%v",
+		r.Invocations, r.BytesIn, r.BytesOut,
+		r.HostTime, r.TransferTime, r.PhiTime, r.KernelTime)
+}
+
+// Engine executes offloaded regions and accumulates the ledger.
+type Engine struct {
+	cfg    Config
+	report Report
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Report returns the cumulative ledger.
+func (e *Engine) Report() Report { return e.report }
+
+// ResetReport clears the ledger between experiments.
+func (e *Engine) ResetReport() { e.report = Report{} }
+
+// Offload executes one offloaded region: inBytes are shipped to the Phi,
+// kernelTime of work runs there, outBytes come back. body, when non-nil,
+// really executes (so offloaded NPB kernels compute genuine results).
+// The return value is the invocation's total virtual time as seen by the
+// host program, which blocks for the duration (synchronous offload).
+func (e *Engine) Offload(inBytes, outBytes int64, kernelTime vclock.Time, body func()) (vclock.Time, error) {
+	if inBytes < 0 || outBytes < 0 {
+		return 0, fmt.Errorf("offload: negative transfer size (%d in, %d out)", inBytes, outBytes)
+	}
+	if kernelTime < 0 {
+		return 0, fmt.Errorf("offload: negative kernel time %v", kernelTime)
+	}
+	if body != nil {
+		body()
+	}
+
+	bytes := inBytes + outBytes
+	host := e.cfg.HostSetup + vclock.Time(float64(bytes)/(e.cfg.HostCopyGBs*1e9))
+	phi := e.cfg.PhiSetup + vclock.Time(float64(bytes)/(e.cfg.PhiCopyGBs*1e9))
+	var transfer vclock.Time
+	if inBytes > 0 {
+		transfer += pcieTransfer(e.cfg, int(inBytes))
+	}
+	if outBytes > 0 {
+		transfer += pcieTransfer(e.cfg, int(outBytes))
+	}
+
+	e.report.Invocations++
+	e.report.BytesIn += inBytes
+	e.report.BytesOut += outBytes
+	e.report.HostTime += host
+	e.report.TransferTime += transfer
+	e.report.PhiTime += phi
+	e.report.KernelTime += kernelTime
+
+	return host + transfer + phi + kernelTime, nil
+}
+
+// pcieTransfer prices one DMA transfer under a config.
+func pcieTransfer(cfg Config, bytes int) vclock.Time {
+	return pcie.OffloadTransferTime(cfg.DMA, cfg.Path, bytes)
+}

@@ -1,0 +1,118 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Transfer time never decreases with message size while the stack stays
+// in one (provider, protocol) state. Across state boundaries time may
+// legitimately DROP — switching to SCIF above 256 KB is faster, which is
+// the whole point of the post-update configuration.
+func TestTransferTimeMonotone(t *testing.T) {
+	for _, sw := range []Software{PreUpdate, PostUpdate} {
+		s := NewStack(sw)
+		f := func(aRaw, bRaw uint32) bool {
+			a := int(aRaw % (8 << 20))
+			b := int(bRaw % (8 << 20))
+			if a > b {
+				a, b = b, a
+			}
+			provA, protoA := s.Route(a)
+			provB, protoB := s.Route(b)
+			if provA != provB || protoA != protoB {
+				return true
+			}
+			for _, p := range Paths() {
+				if s.TransferTime(p, a) > s.TransferTime(p, b) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%v: %v", sw, err)
+		}
+	}
+}
+
+// The provider switch pays off immediately: the first SCIF-routed size
+// is faster than the last CCL-routed one on the host paths.
+func TestProviderSwitchPaysOff(t *testing.T) {
+	s := NewStack(PostUpdate)
+	cfg := DefaultDAPLConfig()
+	for _, p := range []Path{HostPhi0, HostPhi1} {
+		atSwitch := s.TransferTime(p, cfg.ProviderSwitchBytes)
+		justOver := s.TransferTime(p, cfg.ProviderSwitchBytes+1)
+		if justOver >= atSwitch {
+			t.Errorf("%v: SCIF switch did not pay off (%v -> %v)", p, atSwitch, justOver)
+		}
+	}
+}
+
+// Effective bandwidth never exceeds the configured wire rates.
+func TestBandwidthBounded(t *testing.T) {
+	for _, sw := range []Software{PreUpdate, PostUpdate} {
+		s := NewStack(sw)
+		f := func(mRaw uint32) bool {
+			m := int(mRaw%(16<<20)) + 1
+			for _, p := range Paths() {
+				if s.Bandwidth(p, m) > 6.2 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%v: %v", sw, err)
+		}
+	}
+}
+
+// A zero-byte transfer costs exactly the path latency.
+func TestZeroByteIsLatency(t *testing.T) {
+	for _, sw := range []Software{PreUpdate, PostUpdate} {
+		s := NewStack(sw)
+		for _, p := range Paths() {
+			if s.TransferTime(p, 0) != s.Latency(p) {
+				t.Fatalf("%v %v: zero-byte transfer != latency", sw, p)
+			}
+		}
+	}
+}
+
+// Offload DMA: bounded bandwidth everywhere; monotone time for pairs on
+// the same side of the 64 KB dip window (the dip itself is deliberately
+// non-monotone — it is the paper's measured artifact).
+func TestOffloadDMAProperties(t *testing.T) {
+	cfg := DefaultDMAConfig()
+	side := func(m int) int {
+		switch {
+		case m <= cfg.DipLow:
+			return 0
+		case m < cfg.DipHigh:
+			return 1
+		default:
+			return 2
+		}
+	}
+	f := func(aRaw, bRaw uint32) bool {
+		a := int(aRaw % (64 << 20))
+		b := int(bRaw % (64 << 20))
+		if a > b {
+			a, b = b, a
+		}
+		for _, p := range []Path{HostPhi0, HostPhi1} {
+			if side(a) == side(b) && OffloadTransferTime(cfg, p, a) > OffloadTransferTime(cfg, p, b) {
+				return false
+			}
+			if OffloadBandwidth(cfg, p, b) > 8.0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

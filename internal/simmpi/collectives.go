@@ -1,0 +1,387 @@
+package simmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Reserved internal tags (user tags are non-negative).
+const (
+	tagBarrier = -2 - iota
+	tagBcast
+	tagReduce
+	tagAllreduce
+	tagAllgatherRD
+	tagAllgatherRing
+	tagAlltoall
+	tagGather
+	tagScatter
+)
+
+// Op combines src into dst element-wise (dst = op(dst, src)). All
+// collectives apply ops in a fixed tree order, so floating-point results
+// are deterministic.
+type Op func(dst, src []float64)
+
+// OpSum adds src into dst.
+func OpSum(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// OpMax keeps the element-wise maximum in dst.
+func OpMax(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// OpMin keeps the element-wise minimum in dst.
+func OpMin(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Barrier synchronizes all ranks with the dissemination algorithm:
+// ceil(log2 n) rounds of zero-byte exchanges.
+func (r *Rank) barrierImpl() {
+	n := r.w.size
+	if n == 1 {
+		return
+	}
+	for step := 1; step < n; step <<= 1 {
+		dst := (r.id + step) % n
+		src := (r.id - step + n) % n
+		r.send(dst, tagBarrier, nil)
+		r.recv(src, tagBarrier)
+	}
+}
+
+// Bcast broadcasts root's buffer to every rank and returns each rank's
+// copy. As in MPI, every rank passes a buffer of the same length (the
+// "count" argument of MPI_Bcast); only root's contents matter. Short
+// messages take the binomial tree (log n latency steps); long messages
+// take the van de Geijn scatter-plus-ring-allgather, which moves only
+// ~2x the message per rank — the algorithm real MPI libraries switch to
+// for payloads like Cart3D's 56 MB broadcasts (Section 6.4.2).
+func (r *Rank) bcastImpl(root int, data []byte) []byte {
+	n := r.w.size
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("simmpi: Bcast root %d out of range", root))
+	}
+	if n == 1 {
+		return data
+	}
+	if len(data) > r.w.cfg.BcastLongBytes && n > 2 {
+		return r.bcastVanDeGeijn(root, data, len(data))
+	}
+	return r.bcastBinomial(root, data)
+}
+
+// bcastBinomial is MPICH's classic binomial-tree broadcast.
+func (r *Rank) bcastBinomial(root int, data []byte) []byte {
+	n := r.w.size
+	rel := (r.id - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (r.id - mask + n) % n
+			data = r.recv(src, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (r.id + mask) % n
+			r.send(dst, tagBcast, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// bcastVanDeGeijn scatters the message down the binomial tree in blocks,
+// then ring-allgathers the blocks. Each rank moves O(2m) bytes instead
+// of the binomial tree's O(m log n) on the critical path.
+func (r *Rank) bcastVanDeGeijn(root int, data []byte, msgBytes int) []byte {
+	n := r.w.size
+	block := (msgBytes + n - 1) / n
+	padded := block * n
+	// Root pads to a whole number of blocks.
+	var buf []byte
+	if r.id == root {
+		buf = make([]byte, padded)
+		copy(buf, data)
+	}
+	mine := r.Scatter(root, buf, block)
+	// Scatter hands rank i block i, so the allgather reassembles the
+	// message in rank order regardless of the root.
+	full := r.Allgather(mine)
+	return full[:msgBytes]
+}
+
+// Reduce combines every rank's vector with op down a binomial tree and
+// returns the result on root (nil elsewhere). vec is not modified.
+func (r *Rank) reduceImpl(root int, vec []float64, op Op) []float64 {
+	n := r.w.size
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("simmpi: Reduce root %d out of range", root))
+	}
+	acc := append([]float64(nil), vec...)
+	rel := (r.id - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			dst := (r.id - mask + n) % n
+			r.send(dst, tagReduce, f64ToBytes(acc))
+			if rel == 0 {
+				break
+			}
+			return nil
+		}
+		if rel+mask < n {
+			src := (r.id + mask) % n
+			other := bytesToF64(r.recv(src, tagReduce))
+			if len(other) != len(acc) {
+				panic(fmt.Sprintf("simmpi: Reduce length mismatch %d vs %d", len(other), len(acc)))
+			}
+			op(acc, other)
+		}
+		mask <<= 1
+	}
+	if rel == 0 {
+		return acc
+	}
+	return nil
+}
+
+// Allreduce combines every rank's vector with op and returns the result
+// on every rank. Power-of-two worlds use recursive doubling; others fall
+// back to Reduce-then-Bcast. vec is not modified.
+func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
+	n := r.w.size
+	if n == 1 {
+		return append([]float64(nil), vec...)
+	}
+	if n&(n-1) == 0 {
+		acc := append([]float64(nil), vec...)
+		for mask := 1; mask < n; mask <<= 1 {
+			partner := r.id ^ mask
+			r.send(partner, tagAllreduce, f64ToBytes(acc))
+			other := bytesToF64(r.recv(partner, tagAllreduce))
+			if len(other) != len(acc) {
+				panic(fmt.Sprintf("simmpi: Allreduce length mismatch %d vs %d", len(other), len(acc)))
+			}
+			// Fixed combine order regardless of partner side keeps the
+			// result identical on every rank.
+			if r.id < partner {
+				op(acc, other)
+			} else {
+				op(other, acc)
+				acc = other
+			}
+		}
+		return acc
+	}
+	res := r.Reduce(0, vec, op)
+	buf := make([]byte, 8*len(vec))
+	if r.id == 0 {
+		buf = f64ToBytes(res)
+	}
+	return bytesToF64(r.Bcast(0, buf))
+}
+
+// Allgather concatenates every rank's block (all blocks must be the same
+// size) in rank order on every rank. Small blocks on power-of-two worlds
+// use recursive doubling; larger blocks (or non-power-of-two worlds) use
+// the ring algorithm. The size switch is what produces the step in the
+// paper's Figure 13 at 2–4 KB.
+func (r *Rank) allgatherImpl(block []byte) []byte {
+	n := r.w.size
+	m := len(block)
+	out := make([]byte, n*m)
+	copy(out[r.id*m:], block)
+	if n == 1 {
+		return out
+	}
+	pow2 := n&(n-1) == 0
+	if pow2 && m <= r.w.cfg.AllgatherSwitchBytes {
+		// Recursive doubling: before round k (mask = 2^k) each rank
+		// holds the contiguous mask-block run of its group; the round
+		// swaps whole runs between partner groups.
+		for mask := 1; mask < n; mask <<= 1 {
+			partner := r.id ^ mask
+			group := (r.id / mask) * mask
+			pgroup := (partner / mask) * mask
+			r.send(partner, tagAllgatherRD, out[group*m:(group+mask)*m])
+			incoming := r.recv(partner, tagAllgatherRD)
+			copy(out[pgroup*m:(pgroup+mask)*m], incoming)
+		}
+		return out
+	}
+	// Ring: n-1 steps; at each step pass the block received previously.
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	cur := r.id
+	for step := 0; step < n-1; step++ {
+		r.send(right, tagAllgatherRing, out[cur*m:(cur+1)*m])
+		cur = (cur - 1 + n) % n
+		data := r.recv(left, tagAllgatherRing)
+		copy(out[cur*m:(cur+1)*m], data)
+	}
+	return out
+}
+
+// Alltoall sends block i of the input to rank i and returns the blocks
+// received from every rank, in rank order. All blocks are blockBytes
+// long; len(data) must be Size()*blockBytes. The pairwise-exchange
+// algorithm runs n-1 communication rounds.
+func (r *Rank) alltoallImpl(data []byte, blockBytes int) []byte {
+	n := r.w.size
+	if len(data) != n*blockBytes {
+		panic(fmt.Sprintf("simmpi: Alltoall buffer %d bytes, want %d", len(data), n*blockBytes))
+	}
+	out := make([]byte, n*blockBytes)
+	copy(out[r.id*blockBytes:], data[r.id*blockBytes:(r.id+1)*blockBytes])
+	for step := 1; step < n; step++ {
+		dst := (r.id + step) % n
+		src := (r.id - step + n) % n
+		r.send(dst, tagAlltoall, data[dst*blockBytes:(dst+1)*blockBytes])
+		got := r.recv(src, tagAlltoall)
+		copy(out[src*blockBytes:(src+1)*blockBytes], got)
+	}
+	return out
+}
+
+// Gather collects every rank's block on root (linear algorithm) and
+// returns the concatenation there, nil elsewhere.
+func (r *Rank) gatherImpl(root int, block []byte) []byte {
+	n := r.w.size
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("simmpi: Gather root %d out of range", root))
+	}
+	if r.id != root {
+		r.send(root, tagGather, block)
+		return nil
+	}
+	m := len(block)
+	out := make([]byte, n*m)
+	copy(out[root*m:], block)
+	for src := 0; src < n; src++ {
+		if src == root {
+			continue
+		}
+		data := r.recv(src, tagGather)
+		copy(out[src*m:(src+1)*m], data)
+	}
+	return out
+}
+
+// Scatter distributes root's buffer (Size() equal blocks) and returns
+// each rank's block.
+func (r *Rank) scatterImpl(root int, data []byte, blockBytes int) []byte {
+	n := r.w.size
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("simmpi: Scatter root %d out of range", root))
+	}
+	if r.id == root {
+		if len(data) != n*blockBytes {
+			panic(fmt.Sprintf("simmpi: Scatter buffer %d bytes, want %d", len(data), n*blockBytes))
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == root {
+				continue
+			}
+			r.send(dst, tagScatter, data[dst*blockBytes:(dst+1)*blockBytes])
+		}
+		out := make([]byte, blockBytes)
+		copy(out, data[root*blockBytes:(root+1)*blockBytes])
+		return out
+	}
+	return r.recv(root, tagScatter)
+}
+
+// AllreduceSum is shorthand for a one-element sum Allreduce.
+func (r *Rank) AllreduceSum(x float64) float64 {
+	return r.Allreduce([]float64{x}, OpSum)[0]
+}
+
+// f64ToBytes and bytesToF64 move real float64 payloads through the byte
+// transport.
+func f64ToBytes(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+func bytesToF64(b []byte) []float64 {
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v
+}
+
+// --- Public collective entry points -----------------------------------
+//
+// Each wraps its implementation so the profiler attributes the whole
+// operation (including its internal point-to-point traffic) to the MPI
+// function, the way MPInside-style tools report.
+
+// Barrier synchronizes all ranks (dissemination algorithm).
+func (r *Rank) Barrier() {
+	r.collective("MPI_Barrier", 0, func() { r.barrierImpl() })
+}
+
+// Bcast broadcasts root's buffer; see bcastImpl for algorithm selection.
+func (r *Rank) Bcast(root int, data []byte) (out []byte) {
+	r.collective("MPI_Bcast", int64(len(data)), func() { out = r.bcastImpl(root, data) })
+	return out
+}
+
+// Reduce combines every rank's vector onto root.
+func (r *Rank) Reduce(root int, vec []float64, op Op) (out []float64) {
+	r.collective("MPI_Reduce", int64(8*len(vec)), func() { out = r.reduceImpl(root, vec, op) })
+	return out
+}
+
+// Allreduce combines every rank's vector onto every rank.
+func (r *Rank) Allreduce(vec []float64, op Op) (out []float64) {
+	r.collective("MPI_Allreduce", int64(8*len(vec)), func() { out = r.allreduceImpl(vec, op) })
+	return out
+}
+
+// Allgather concatenates every rank's equal-size block on every rank.
+func (r *Rank) Allgather(block []byte) (out []byte) {
+	r.collective("MPI_Allgather", int64(len(block)), func() { out = r.allgatherImpl(block) })
+	return out
+}
+
+// Alltoall delivers block i of every rank's buffer to rank i.
+func (r *Rank) Alltoall(data []byte, blockBytes int) (out []byte) {
+	r.collective("MPI_Alltoall", int64(len(data)), func() { out = r.alltoallImpl(data, blockBytes) })
+	return out
+}
+
+// Gather collects every rank's block on root.
+func (r *Rank) Gather(root int, block []byte) (out []byte) {
+	r.collective("MPI_Gather", int64(len(block)), func() { out = r.gatherImpl(root, block) })
+	return out
+}
+
+// Scatter distributes root's buffer as equal blocks.
+func (r *Rank) Scatter(root int, data []byte, blockBytes int) (out []byte) {
+	r.collective("MPI_Scatter", int64(blockBytes), func() { out = r.scatterImpl(root, data, blockBytes) })
+	return out
+}

@@ -1,0 +1,105 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"maia/internal/vclock"
+)
+
+// Nonblocking point-to-point operations. Send is already buffered (the
+// MPI_Isend+internal-buffer semantics real codes rely on), so Isend is an
+// alias that returns a completed request; Irecv posts a receive whose
+// match is resolved at Wait, with the POST time (not the wait time)
+// gating the rendezvous — which is exactly the overlap nonblocking
+// receives buy on real machines.
+
+// Request is a handle for a pending nonblocking operation.
+type Request struct {
+	rank *Rank
+	// recv-side state; nil rank means already complete.
+	src, tag int
+	post     vclock.Time
+	done     bool
+	data     []byte
+}
+
+// Isend posts a buffered send and returns an already-complete request.
+func (r *Rank) Isend(dst, tag int, data []byte) *Request {
+	r.Send(dst, tag, data)
+	return &Request{done: true}
+}
+
+// Irecv posts a receive. The returned request must be completed with
+// Wait; the message may arrive (in virtual time) any time after this
+// post.
+func (r *Rank) Irecv(src, tag int) *Request {
+	if src == r.id || src < 0 || src >= r.w.size {
+		panic(fmt.Sprintf("simmpi: rank %d irecvs from invalid rank %d", r.id, src))
+	}
+	return &Request{rank: r, src: src, tag: tag, post: r.clock.Now()}
+}
+
+// Wait blocks until the request completes and returns the received
+// payload (nil for sends).
+func (req *Request) Wait() []byte {
+	if req.done {
+		return req.data
+	}
+	t0 := req.rank.clock.Now()
+	req.data = req.rank.recvAt(req.src, req.tag, req.post)
+	if !req.rank.inColl {
+		req.rank.record("MPI_Wait", int64(len(req.data)), req.rank.clock.Now()-t0)
+	}
+	req.done = true
+	return req.data
+}
+
+// Waitall completes every request, returning the payloads in order.
+func Waitall(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		out[i] = req.Wait()
+	}
+	return out
+}
+
+// recvAt is recv with an explicit post time: the rendezvous (or eager
+// arrival) is gated by when the receive was POSTED, so computation
+// between Irecv and Wait overlaps the transfer.
+func (r *Rank) recvAt(src, tag int, post vclock.Time) []byte {
+	w := r.w
+	box := w.boxes[r.id]
+	box.mu.Lock()
+	var msg message
+	for {
+		if box.poisoned {
+			box.mu.Unlock()
+			panic("world poisoned by a failed rank")
+		}
+		q := box.bySrc[src]
+		found := -1
+		for i, m := range q {
+			if tag == AnyTag || m.tag == tag {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			msg = q[found]
+			box.bySrc[src] = append(q[:found:found], q[found+1:]...)
+			break
+		}
+		box.cond.Wait()
+	}
+	box.mu.Unlock()
+
+	_, flight, rendezvous := w.transferCost(src, r.id, len(msg.data))
+	var done vclock.Time
+	if rendezvous {
+		done = vclock.Max(msg.sendTime, post) + flight
+	} else {
+		done = msg.sendTime + flight
+	}
+	r.clock.AdvanceTo(done)
+	return msg.data
+}

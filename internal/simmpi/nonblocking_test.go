@@ -1,0 +1,120 @@
+package simmpi
+
+import (
+	"testing"
+
+	"maia/internal/vclock"
+)
+
+func TestIsendIrecvRoundtrip(t *testing.T) {
+	w, _ := NewWorld(hostCfg(2))
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 3, []byte("async"))
+			if got := req.Wait(); got != nil {
+				panic("send request returned data")
+			}
+		} else {
+			req := r.Irecv(0, 3)
+			if string(req.Wait()) != "async" {
+				panic("irecv payload wrong")
+			}
+			// Waiting twice is idempotent.
+			if string(req.Wait()) != "async" {
+				panic("second Wait lost the payload")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The whole point of Irecv: computation between post and Wait overlaps a
+// rendezvous transfer, so posting early finishes earlier.
+func TestIrecvOverlapsRendezvous(t *testing.T) {
+	big := make([]byte, 4<<20)
+	work := 10 * vclock.Millisecond
+
+	run := func(early bool) vclock.Time {
+		w, _ := NewWorld(hostCfg(2))
+		var finish vclock.Time
+		err := w.Run(func(r *Rank) {
+			if r.ID() == 0 {
+				r.Send(1, 0, big)
+				return
+			}
+			if early {
+				req := r.Irecv(0, 0)
+				r.Compute(work)
+				req.Wait()
+			} else {
+				r.Compute(work)
+				r.Recv(0, 0)
+			}
+			finish = r.Now()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	posted := run(true)
+	blocked := run(false)
+	if posted >= blocked {
+		t.Fatalf("early post (%v) should beat late blocking recv (%v)", posted, blocked)
+	}
+}
+
+func TestWaitall(t *testing.T) {
+	w, _ := NewWorld(hostCfg(3))
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			var reqs []*Request
+			reqs = append(reqs, r.Irecv(1, 0), r.Irecv(2, 0))
+			got := Waitall(reqs)
+			if got[0][0] != 1 || got[1][0] != 2 {
+				panic("waitall order wrong")
+			}
+		} else {
+			r.Send(0, 0, []byte{byte(r.ID())})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvValidation(t *testing.T) {
+	w, _ := NewWorld(hostCfg(2))
+	if err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Irecv(0, 0) // self
+		}
+	}); err == nil {
+		t.Fatal("self irecv accepted")
+	}
+}
+
+// Nonblocking ops preserve determinism.
+func TestNonblockingDeterministic(t *testing.T) {
+	run := func() vclock.Time {
+		w, _ := NewWorld(hostCfg(4))
+		if err := w.Run(func(r *Rank) {
+			n := r.Size()
+			req := r.Irecv((r.ID()-1+n)%n, 0)
+			r.Isend((r.ID()+1)%n, 0, make([]byte, 100<<10))
+			r.Compute(vclock.Millisecond)
+			req.Wait()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	a := run()
+	for i := 0; i < 3; i++ {
+		if b := run(); b != a {
+			t.Fatalf("nondeterministic: %v vs %v", b, a)
+		}
+	}
+}

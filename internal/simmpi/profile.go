@@ -1,0 +1,145 @@
+package simmpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maia/internal/vclock"
+)
+
+// MPInside-style profiling (the paper's authors built and cite such a
+// tool [29]): every rank records where its virtual time went — compute
+// vs. each MPI function — plus call counts and byte volumes. Profiles
+// are always collected; they cost a map update per operation.
+
+// OpStats accumulates one operation kind on one rank.
+type OpStats struct {
+	Calls int
+	Bytes int64
+	Time  vclock.Time
+}
+
+// RankProfile is one rank's timeline summary.
+type RankProfile struct {
+	Rank    int
+	Compute vclock.Time
+	MPI     map[string]OpStats
+}
+
+// MPITime returns the rank's total time inside MPI operations.
+func (p RankProfile) MPITime() vclock.Time {
+	var t vclock.Time
+	for _, s := range p.MPI {
+		t += s.Time
+	}
+	return t
+}
+
+// Total returns compute plus MPI time.
+func (p RankProfile) Total() vclock.Time { return p.Compute + p.MPITime() }
+
+// record notes dt spent in op, moving `bytes`.
+func (r *Rank) record(op string, bytes int64, dt vclock.Time) {
+	if r.prof.MPI == nil {
+		r.prof.MPI = make(map[string]OpStats)
+	}
+	s := r.prof.MPI[op]
+	s.Calls++
+	s.Bytes += bytes
+	s.Time += dt
+	r.prof.MPI[op] = s
+}
+
+// collective wraps a collective implementation so its internal
+// point-to-point traffic is attributed to the collective, not to
+// MPI_Send/MPI_Recv.
+func (r *Rank) collective(name string, bytes int64, body func()) {
+	if r.inColl {
+		body() // nested (e.g. Bcast inside Allreduce): outermost wins
+		return
+	}
+	r.inColl = true
+	t0 := r.clock.Now()
+	body()
+	r.inColl = false
+	r.record(name, bytes, r.clock.Now()-t0)
+}
+
+// Profiles returns every rank's profile after Run.
+func (w *World) Profiles() []RankProfile { return w.profiles }
+
+// ProfileSummary aggregates rank profiles for reporting.
+type ProfileSummary struct {
+	Ranks          int
+	MaxTotal       vclock.Time // the makespan
+	MeanCompute    vclock.Time
+	MaxCompute     vclock.Time
+	MeanMPI        vclock.Time
+	MaxMPI         vclock.Time
+	ComputeBalance float64 // max/mean compute: 1.0 is perfect
+}
+
+// Summarize reduces the world's profiles.
+func (w *World) Summarize() ProfileSummary {
+	ps := w.Profiles()
+	s := ProfileSummary{Ranks: len(ps)}
+	if len(ps) == 0 {
+		return s
+	}
+	var sumC, sumM vclock.Time
+	for _, p := range ps {
+		c, m := p.Compute, p.MPITime()
+		sumC += c
+		sumM += m
+		if c > s.MaxCompute {
+			s.MaxCompute = c
+		}
+		if m > s.MaxMPI {
+			s.MaxMPI = m
+		}
+		if t := p.Total(); t > s.MaxTotal {
+			s.MaxTotal = t
+		}
+	}
+	s.MeanCompute = sumC / vclock.Time(len(ps))
+	s.MeanMPI = sumM / vclock.Time(len(ps))
+	if s.MeanCompute > 0 {
+		s.ComputeBalance = s.MaxCompute.Seconds() / s.MeanCompute.Seconds()
+	} else {
+		s.ComputeBalance = 1
+	}
+	return s
+}
+
+// String renders the summary in one MPInside-like line.
+func (s ProfileSummary) String() string {
+	return fmt.Sprintf("ranks=%d makespan=%v compute(mean=%v max=%v balance=%.2f) mpi(mean=%v max=%v)",
+		s.Ranks, s.MaxTotal, s.MeanCompute, s.MaxCompute, s.ComputeBalance, s.MeanMPI, s.MaxMPI)
+}
+
+// FormatProfile renders one rank's per-function table, functions sorted
+// by time descending.
+func FormatProfile(p RankProfile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank %d: compute %v, MPI %v\n", p.Rank, p.Compute, p.MPITime())
+	type row struct {
+		name string
+		s    OpStats
+	}
+	rows := make([]row, 0, len(p.MPI))
+	for name, s := range p.MPI {
+		rows = append(rows, row{name, s})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].s.Time != rows[j].s.Time {
+			return rows[i].s.Time > rows[j].s.Time
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s calls=%-6d bytes=%-12d time=%v\n",
+			r.name, r.s.Calls, r.s.Bytes, r.s.Time)
+	}
+	return b.String()
+}

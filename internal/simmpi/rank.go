@@ -1,0 +1,109 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"maia/internal/machine"
+	"maia/internal/vclock"
+)
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// Rank is the per-process handle passed to the body function of
+// World.Run. All methods must be called only from that rank's goroutine.
+type Rank struct {
+	id    int
+	w     *World
+	clock vclock.Clock
+
+	// Profiling state (see profile.go).
+	prof   RankProfile
+	inColl bool
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.size }
+
+// Location returns the rank's placement.
+func (r *Rank) Location() Location { return r.w.cfg.Ranks[r.id] }
+
+// Device returns the device the rank runs on.
+func (r *Rank) Device() machine.Device { return r.w.cfg.Ranks[r.id].Device }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() vclock.Time { return r.clock.Now() }
+
+// Compute charges local computation time to the rank's clock.
+func (r *Rank) Compute(t vclock.Time) {
+	r.clock.Advance(t)
+	r.prof.Compute += t
+}
+
+// Send posts a message to rank dst. It is buffered: the call charges only
+// the sender-side injection cost and returns; delivery timing is settled
+// when the receiver matches the message. Sending to oneself panics, as
+// does an out-of-range destination.
+func (r *Rank) Send(dst, tag int, data []byte) {
+	if dst == r.id {
+		panic(fmt.Sprintf("simmpi: rank %d sends to itself", r.id))
+	}
+	if dst < 0 || dst >= r.w.size {
+		panic(fmt.Sprintf("simmpi: rank %d sends to invalid rank %d", r.id, dst))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("simmpi: negative user tag %d", tag))
+	}
+	r.send(dst, tag, data)
+}
+
+// send is the internal path shared with collectives (which use negative
+// tags from the reserved space).
+func (r *Rank) send(dst, tag int, data []byte) {
+	if !r.inColl {
+		defer func(t0 vclock.Time) {
+			r.record("MPI_Send", int64(len(data)), r.clock.Now()-t0)
+		}(r.clock.Now())
+	}
+	tsPost := r.clock.Now()
+	sendSide, _, _ := r.w.transferCost(r.id, dst, len(data))
+	r.clock.Advance(sendSide)
+
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	box := r.w.boxes[dst]
+	box.mu.Lock()
+	box.bySrc[r.id] = append(box.bySrc[r.id], message{tag: tag, data: buf, sendTime: tsPost})
+	box.cond.Signal()
+	box.mu.Unlock()
+}
+
+// Recv blocks until a message from src with the given tag (or AnyTag)
+// arrives, charges the receiver's clock, and returns the payload.
+func (r *Rank) Recv(src, tag int) []byte {
+	if src == r.id || src < 0 || src >= r.w.size {
+		panic(fmt.Sprintf("simmpi: rank %d receives from invalid rank %d", r.id, src))
+	}
+	return r.recv(src, tag)
+}
+
+func (r *Rank) recv(src, tag int) []byte {
+	// A blocking receive is a nonblocking receive posted and completed
+	// at the same instant.
+	t0 := r.clock.Now()
+	data := r.recvAt(src, tag, t0)
+	if !r.inColl {
+		r.record("MPI_Recv", int64(len(data)), r.clock.Now()-t0)
+	}
+	return data
+}
+
+// Sendrecv sends to dst and receives from src in one exchange (the shape
+// of the paper's Figure 10 ring benchmark).
+func (r *Rank) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	r.Send(dst, sendTag, data)
+	return r.Recv(src, recvTag)
+}

@@ -1,0 +1,301 @@
+// Package simmpi is a virtual-time MPI runtime. Ranks are goroutines that
+// exchange real bytes through a deterministic matching engine; every
+// transfer is charged virtual time from a LogGP-style cost model over the
+// modeled fabrics:
+//
+//   - intra-host: shared-memory transport between Sandy Bridge cores;
+//   - intra-Phi: shared-memory transport between Phi cores, whose
+//     latency and bandwidth degrade sharply as hardware threads per core
+//     grow (the paper's Figure 10: one thread per core is best for
+//     communication-dominant code);
+//   - host<->Phi and Phi<->Phi: the PCIe DAPL stacks of package pcie,
+//     pre- or post-update.
+//
+// Collective operations (Bcast, Reduce, Allreduce, Allgather, Alltoall,
+// Barrier) are implemented on top of point-to-point messages with the
+// classic algorithms real MPI libraries use, including size-based
+// algorithm switching — which is what produces the abrupt step the paper
+// observes in MPI_Allgather at 2–4 KB (Figure 13).
+//
+// Virtual time is deterministic: it depends only on the program and the
+// machine model, never on the Go scheduler.
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+
+	"maia/internal/machine"
+	"maia/internal/pcie"
+	"maia/internal/vclock"
+)
+
+// Location places one rank on the cluster.
+type Location struct {
+	Device machine.Device
+	// ThreadsPerCore is the hardware-thread oversubscription of the
+	// rank's core (1–4 on the Phi, 1–2 on the host). It sets the
+	// intra-device transport parameters.
+	ThreadsPerCore int
+	// Node is the cluster node index; ranks on different nodes
+	// communicate over the FDR InfiniBand fabric (used by the paper's
+	// host1+host2 comparison in Section 6.9.1.3).
+	Node int
+}
+
+// Config describes a world of ranks.
+type Config struct {
+	// Ranks places each rank; len(Ranks) is the world size.
+	Ranks []Location
+	// Stack is the PCIe software environment used for cross-device
+	// messages. Defaults to the post-update stack.
+	Stack *pcie.Stack
+	// EagerMaxBytes is the intra-device eager/rendezvous threshold.
+	// Zero selects the 8 KB default.
+	EagerMaxBytes int
+	// AllgatherSwitchBytes is the per-rank message size above which
+	// Allgather switches from recursive doubling to the ring algorithm
+	// (the Figure 13 jump). Zero selects the 2 KB default.
+	AllgatherSwitchBytes int
+	// BcastLongBytes is the payload size above which Bcast switches
+	// from the binomial tree to van de Geijn scatter+allgather. Zero
+	// selects the 512 KB default.
+	BcastLongBytes int
+}
+
+// HostPlacement places n ranks on the host at the given threads per core.
+func HostPlacement(n, threadsPerCore int) []Location {
+	locs := make([]Location, n)
+	for i := range locs {
+		locs[i] = Location{Device: machine.Host, ThreadsPerCore: threadsPerCore}
+	}
+	return locs
+}
+
+// PhiPlacement places n ranks on a Phi at the given threads per core.
+func PhiPlacement(dev machine.Device, n, threadsPerCore int) []Location {
+	locs := make([]Location, n)
+	for i := range locs {
+		locs[i] = Location{Device: dev, ThreadsPerCore: threadsPerCore}
+	}
+	return locs
+}
+
+// intraParams returns the LogGP parameters (one-way latency, bandwidth in
+// GB/s) for messages between two ranks on the same device, calibrated to
+// Figure 10: the host transport, and the Phi transport at 1–4 threads per
+// core.
+func intraParams(dev machine.Device, tpc int) (alpha vclock.Time, gbs float64) {
+	if !dev.IsPhi() {
+		return 0.4 * vclock.Microsecond, 5.0
+	}
+	switch {
+	case tpc <= 1:
+		return 1.0 * vclock.Microsecond, 3.85
+	case tpc == 2:
+		return 3.6 * vclock.Microsecond, 1.6
+	case tpc == 3:
+		return 9.0 * vclock.Microsecond, 0.62
+	default:
+		return 21.6 * vclock.Microsecond, 0.21
+	}
+}
+
+// pciePath maps a device pair to its PCIe path.
+func pciePath(a, b machine.Device) pcie.Path {
+	switch {
+	case a == machine.Phi0 && b == machine.Phi1,
+		a == machine.Phi1 && b == machine.Phi0:
+		return pcie.Phi0Phi1
+	case a == machine.Phi1 || b == machine.Phi1:
+		return pcie.HostPhi1
+	default:
+		return pcie.HostPhi0
+	}
+}
+
+// message is one in-flight point-to-point message.
+type message struct {
+	tag  int
+	data []byte
+	// sendTime is the sender's virtual clock when the send was posted.
+	sendTime vclock.Time
+}
+
+// mailbox is one rank's incoming-message store: a FIFO queue per source.
+// Each receiver owns its mailbox, so a send wakes only its destination.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	bySrc    map[int][]message
+	poisoned bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{bySrc: make(map[int][]message)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// World is one MPI job: a set of ranks, the matching engine, and the
+// fabric model.
+type World struct {
+	cfg  Config
+	size int
+
+	boxes []*mailbox
+
+	finalClocks []vclock.Time
+	profiles    []RankProfile
+}
+
+// NewWorld validates cfg and builds a world.
+func NewWorld(cfg Config) (*World, error) {
+	if len(cfg.Ranks) == 0 {
+		return nil, fmt.Errorf("simmpi: empty world")
+	}
+	for i, l := range cfg.Ranks {
+		if l.ThreadsPerCore < 1 {
+			return nil, fmt.Errorf("simmpi: rank %d has %d threads per core", i, l.ThreadsPerCore)
+		}
+	}
+	if cfg.Stack == nil {
+		cfg.Stack = pcie.NewStack(pcie.PostUpdate)
+	}
+	if cfg.EagerMaxBytes == 0 {
+		cfg.EagerMaxBytes = 8 << 10
+	}
+	if cfg.AllgatherSwitchBytes == 0 {
+		cfg.AllgatherSwitchBytes = 2 << 10
+	}
+	if cfg.BcastLongBytes == 0 {
+		cfg.BcastLongBytes = 512 << 10
+	}
+	w := &World{
+		cfg:         cfg,
+		size:        len(cfg.Ranks),
+		boxes:       make([]*mailbox, len(cfg.Ranks)),
+		finalClocks: make([]vclock.Time, len(cfg.Ranks)),
+		profiles:    make([]RankProfile, len(cfg.Ranks)),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes body once per rank, each on its own goroutine, and blocks
+// until all ranks return. A panic in any rank is recovered and returned
+// as an error (other ranks may then block forever in a real deadlock; Run
+// unblocks them by poisoning the matching engine).
+func (w *World) Run(body func(r *Rank)) (err error) {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for id := 0; id < w.size; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{id: id, w: w}
+			r.prof.Rank = id
+			defer func() {
+				if p := recover(); p != nil {
+					errs[id] = fmt.Errorf("simmpi: rank %d: %v", id, p)
+					w.poison()
+				}
+				w.finalClocks[id] = r.clock.Now()
+				w.profiles[id] = r.prof
+			}()
+			body(r)
+		}(id)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// poison marks every mailbox dead so blocked receivers unwind instead of
+// deadlocking when a rank has failed.
+func (w *World) poison() {
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.poisoned = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// MaxTime returns the latest rank clock after Run: the job's makespan.
+func (w *World) MaxTime() vclock.Time {
+	var m vclock.Time
+	for _, c := range w.finalClocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// RankTime returns the final virtual clock of one rank after Run.
+func (w *World) RankTime(id int) vclock.Time { return w.finalClocks[id] }
+
+// transferCost returns (sendSideCost, flightTime, rendezvous) for a
+// message of n bytes from rank a to rank b.
+//
+//   - sendSideCost is charged to the sender's clock (injection overhead
+//     plus, for eager messages, the copy into the transport buffer);
+//   - flightTime is the latency+bandwidth term from injection to delivery;
+//   - rendezvous reports whether the receiver must synchronize with the
+//     sender before the transfer starts.
+func (w *World) transferCost(a, b int, n int) (sendSide, flight vclock.Time, rendezvous bool) {
+	la, lb := w.cfg.Ranks[a], w.cfg.Ranks[b]
+	rendezvous = n > w.cfg.EagerMaxBytes
+	if la.Node != lb.Node {
+		// Inter-node: 4x FDR InfiniBand. A Phi endpoint adds its PCIe
+		// leg to reach the HCA.
+		alpha := 1.8 * vclock.Microsecond
+		gbs := 5.8
+		for _, l := range []Location{la, lb} {
+			if l.Device.IsPhi() {
+				path := pciePath(machine.Host, l.Device)
+				alpha += w.cfg.Stack.Latency(path)
+				if pathBW := w.cfg.Stack.Bandwidth(path, n); pathBW > 0 && pathBW < gbs {
+					gbs = pathBW
+				}
+			}
+		}
+		flight = alpha + vclock.Time(float64(n)/(gbs*1e9))
+		if rendezvous {
+			flight += 2 * alpha
+		}
+		return alpha / 2, flight, rendezvous
+	}
+	if la.Device == lb.Device {
+		tpc := la.ThreadsPerCore
+		if lb.ThreadsPerCore > tpc {
+			tpc = lb.ThreadsPerCore
+		}
+		alpha, gbs := intraParams(la.Device, tpc)
+		bwTerm := vclock.Time(float64(n) / (gbs * 1e9))
+		sendSide = alpha / 2
+		if !rendezvous {
+			sendSide += bwTerm
+		}
+		flight = alpha + bwTerm
+		if rendezvous {
+			flight += 2 * alpha // handshake round trip
+		}
+		return sendSide, flight, rendezvous
+	}
+	// Cross-device: the DAPL stack prices the whole transfer.
+	path := pciePath(la.Device, lb.Device)
+	flight = w.cfg.Stack.TransferTime(path, n)
+	sendSide = w.cfg.Stack.Latency(path) / 2
+	return sendSide, flight, rendezvous
+}

@@ -1,0 +1,35 @@
+package simomp_test
+
+import (
+	"fmt"
+
+	"maia/internal/machine"
+	"maia/internal/simomp"
+	"maia/internal/vclock"
+)
+
+// A work-shared loop: the body really executes, while virtual time is
+// computed by simulating the schedule deterministically.
+func ExampleTeam_ParallelFor() {
+	rt := simomp.New(machine.HostCoresPartition(machine.NewNode(), 4, 1))
+	team := simomp.NewTeam(rt)
+	sum := make([]int, 100)
+	elapsed := team.ParallelFor(100, simomp.ForOpts{
+		Sched:    simomp.Static,
+		IterCost: vclock.Microsecond,
+	}, func(i int) { sum[i] = i * i })
+	fmt.Println(sum[10], elapsed > 25*vclock.Microsecond)
+	// Output: 100 true
+}
+
+// The Figure 15 measurement: construct overheads are an order of
+// magnitude higher on the Phi.
+func ExampleMeasureSyncOverhead() {
+	node := machine.NewNode()
+	host := simomp.New(machine.HostPartition(node, 1))
+	phi := simomp.New(machine.PhiThreadsPartition(node, machine.Phi0, 236))
+	h := simomp.MeasureSyncOverhead(host, simomp.Reduction)
+	p := simomp.MeasureSyncOverhead(phi, simomp.Reduction)
+	fmt.Printf("phi/host REDUCTION overhead: %.0fx\n", p.Seconds()/h.Seconds())
+	// Output: phi/host REDUCTION overhead: 11x
+}

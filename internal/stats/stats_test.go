@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("Min/Max wrong")
+	}
+	if Mean(xs) != 2.8 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("negative input must yield NaN")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min":     func() { Min(nil) },
+		"Max":     func() { Max(nil) },
+		"Mean":    func() { Mean(nil) },
+		"GeoMean": func() { GeoMean(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRatioRange(t *testing.T) {
+	lo, hi, err := RatioRange([]float64{2, 9}, []float64{1, 3})
+	if err != nil || lo != 2 || hi != 3 {
+		t.Fatalf("RatioRange = %v, %v, %v", lo, hi, err)
+	}
+	if _, _, err := RatioRange([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := RatioRange([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	if _, _, err := RatioRange(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// Property: Min <= GeoMean <= Mean <= Max for positive inputs.
+func TestMeanOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		g := GeoMean(xs)
+		return Min(xs) <= g+1e-9 && g <= Mean(xs)+1e-9 && Mean(xs) <= Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesYs(t *testing.T) {
+	s := Series{{1, 10}, {2, 20}}
+	ys := s.Ys()
+	if len(ys) != 2 || ys[0] != 10 || ys[1] != 20 {
+		t.Fatalf("Ys = %v", ys)
+	}
+}

@@ -1,0 +1,99 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more y-series over a shared categorical x axis
+// (sweep positions) as a compact ASCII plot — the harness's stand-in for
+// the paper's figures. Series are drawn with distinct markers in input
+// order; y is linear, from 0 to the largest value.
+type Chart struct {
+	height int
+	names  []string
+	series [][]float64
+	xlabel [2]string // first and last x tick labels
+}
+
+// chartMarkers are assigned to series in order.
+var chartMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// NewChart creates a chart `height` rows tall (minimum 4).
+func NewChart(height int) *Chart {
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{height: height}
+}
+
+// Series adds a named series. All series should share x positions.
+func (c *Chart) Series(name string, ys []float64) *Chart {
+	c.names = append(c.names, name)
+	c.series = append(c.series, ys)
+	return c
+}
+
+// XRange labels the first and last x positions.
+func (c *Chart) XRange(first, last string) *Chart {
+	c.xlabel = [2]string{first, last}
+	return c
+}
+
+// Render returns the plot. An empty chart renders as an empty string.
+func (c *Chart) Render() string {
+	maxY, width := 0.0, 0
+	for _, s := range c.series {
+		if len(s) > width {
+			width = len(s)
+		}
+		for _, y := range s {
+			if y > maxY && !math.IsInf(y, 0) && !math.IsNaN(y) {
+				maxY = y
+			}
+		}
+	}
+	if width == 0 || maxY <= 0 {
+		return ""
+	}
+	grid := make([][]byte, c.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		marker := chartMarkers[si%len(chartMarkers)]
+		for x, y := range s {
+			if math.IsNaN(y) || y < 0 {
+				continue
+			}
+			row := int(y / maxY * float64(c.height-1))
+			if row > c.height-1 {
+				row = c.height - 1
+			}
+			grid[c.height-1-row][x] = marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.4g ┤\n", maxY)
+	for _, row := range grid {
+		b.WriteString("     │")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("   0 └")
+	b.WriteString(strings.Repeat("─", width))
+	b.WriteByte('\n')
+	if c.xlabel[0] != "" || c.xlabel[1] != "" {
+		pad := width - len(c.xlabel[0]) - len(c.xlabel[1])
+		if pad < 1 {
+			pad = 1
+		}
+		fmt.Fprintf(&b, "      %s%s%s\n", c.xlabel[0], strings.Repeat(" ", pad), c.xlabel[1])
+	}
+	// Legend.
+	for i, name := range c.names {
+		fmt.Fprintf(&b, "      %c %s\n", chartMarkers[i%len(chartMarkers)], name)
+	}
+	return b.String()
+}

@@ -1,0 +1,26 @@
+package vclock_test
+
+import (
+	"fmt"
+
+	"maia/internal/vclock"
+)
+
+// Virtual clocks are how every simulated agent accounts for time:
+// explicit charges, never the wall clock.
+func ExampleClock() {
+	var c vclock.Clock
+	c.Advance(3 * vclock.Microsecond)
+	c.Advance(500 * vclock.Nanosecond)
+	c.AdvanceTo(2 * vclock.Microsecond) // already past: no effect
+	fmt.Println(c.Now())
+	// Output: 3.5us
+}
+
+// Deterministic randomness: the same seed always yields the same stream.
+func ExampleRNG() {
+	a := vclock.NewRNG(42)
+	b := vclock.NewRNG(42)
+	fmt.Println(a.Intn(100) == b.Intn(100))
+	// Output: true
+}
