@@ -249,6 +249,37 @@ func BenchmarkKernelCart3DStep(b *testing.B) {
 	}
 }
 
+// --- Engine: sequential vs parallel full-suite regeneration -----------
+
+// benchRunAll regenerates the whole suite per iteration at the given
+// worker count (0 = the sequential RunAll path). On a multi-core box the
+// worker pool wins by roughly min(workers, cores, suite skew) — the
+// experiments are embarrassingly parallel once each runs against its own
+// cloned Env.
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	env := harness.DefaultEnv()
+	env.Quick = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers == 0 {
+			if err := harness.RunAll(io.Discard, env); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if _, err := harness.RunAllParallel(io.Discard, env, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteSequential(b *testing.B) { benchRunAll(b, 0) }
+func BenchmarkSuiteWorkers1(b *testing.B)   { benchRunAll(b, 1) }
+func BenchmarkSuiteWorkers2(b *testing.B)   { benchRunAll(b, 2) }
+func BenchmarkSuiteWorkers4(b *testing.B)   { benchRunAll(b, 4) }
+func BenchmarkSuiteWorkers8(b *testing.B)   { benchRunAll(b, 8) }
+
 // --- Extension benchmarks ---------------------------------------------
 
 func benchExtension(b *testing.B, id string) {

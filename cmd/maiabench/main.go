@@ -4,17 +4,27 @@
 // plus the "report" card (every headline claim, graded) and the ext-*
 // extension experiments.
 //
+// Experiments run on a worker pool (-parallel, default one worker per
+// CPU); because every experiment executes against its own cloned
+// environment and the simulation is virtual-time deterministic, the
+// assembled output is byte-identical to a sequential run.
+//
 // Usage:
 //
 //	maiabench -list
 //	maiabench table1 fig4 fig19 report
 //	maiabench -quick all
+//	maiabench -parallel 8 all
+//	maiabench -verify all        # compare against golden snapshots
+//	maiabench -update all        # regenerate golden snapshots
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"runtime"
 
 	"maia/internal/harness"
 )
@@ -30,8 +40,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("maiabench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list available experiments and exit")
 	quick := fs.Bool("quick", false, "trim sweep densities for a fast pass")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "experiment worker count (1 = sequential)")
+	verify := fs.Bool("verify", false, "compare output against golden snapshots instead of printing")
+	update := fs.Bool("update", false, "regenerate golden snapshot files and exit")
+	goldenDir := fs.String("golden", harness.DefaultGoldenDir,
+		"golden snapshot directory (-verify falls back to the build-time copies when it does not exist)")
+	stats := fs.Bool("stats", false, "print per-experiment wall time and output size to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: maiabench [-quick] [-list] <experiment>... | all")
+		fmt.Fprintln(fs.Output(),
+			"usage: maiabench [-quick] [-parallel N] [-verify|-update] [-stats] [-list] <experiment>... | all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -47,24 +64,70 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	ids := fs.Args()
+	exps, err := selectExperiments(fs.Args())
+	if err != nil {
+		if len(fs.Args()) == 0 {
+			fs.Usage()
+		}
+		return err
+	}
+
+	switch {
+	case *update:
+		if *quick {
+			return fmt.Errorf("golden snapshots are full-mode: drop -quick with -update")
+		}
+		return harness.UpdateGolden(*goldenDir, env, exps)
+	case *verify:
+		if *quick {
+			return fmt.Errorf("golden snapshots are full-mode: drop -quick with -verify")
+		}
+		if err := harness.VerifyGolden(env, exps, goldenSource(*goldenDir)); err != nil {
+			return err
+		}
+		fmt.Printf("verified %d experiment(s) against golden snapshots\n", len(exps))
+		return nil
+	}
+
+	results, err := harness.RunExperiments(os.Stdout, env, exps, *parallel)
+	if *stats {
+		for _, r := range results {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "%-22s %10v %7d B  %s\n", r.ID, r.Wall.Round(1e6), r.Bytes, status)
+		}
+	}
+	return err
+}
+
+// selectExperiments resolves CLI arguments to experiments: the single
+// word "all" means every experiment in presentation order.
+func selectExperiments(ids []string) ([]harness.Experiment, error) {
 	if len(ids) == 0 {
-		fs.Usage()
-		return fmt.Errorf("no experiments given")
+		return nil, fmt.Errorf("no experiments given")
 	}
 	if len(ids) == 1 && ids[0] == "all" {
-		return harness.RunAll(os.Stdout, env)
+		return harness.All(), nil
 	}
+	exps := make([]harness.Experiment, 0, len(ids))
 	for _, id := range ids {
 		e, ok := harness.ByID(id)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (try -list)", id)
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
 		}
-		fmt.Printf("== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper)
-		if err := e.Run(os.Stdout, env); err != nil {
-			return err
-		}
-		fmt.Println()
+		exps = append(exps, e)
 	}
-	return nil
+	return exps, nil
+}
+
+// goldenSource prefers the on-disk snapshot directory (the committed
+// files, freshest when run from the repository root) and falls back to
+// the copies embedded at build time so -verify works from anywhere.
+func goldenSource(dir string) fs.FS {
+	if info, err := os.Stat(dir); err == nil && info.IsDir() {
+		return os.DirFS(dir)
+	}
+	return harness.EmbeddedGolden()
 }

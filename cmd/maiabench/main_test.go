@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -29,5 +34,54 @@ func TestRunNoArgs(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunParallelSubset(t *testing.T) {
+	if err := run([]string{"-quick", "-parallel", "4", "fig7", "fig15", "fig16"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// -quick golden snapshots don't exist; mixing the modes must fail fast
+// instead of producing a guaranteed mismatch.
+func TestRunVerifyRejectsQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-verify", "fig7"}); err == nil {
+		t.Fatal("-quick -verify accepted")
+	}
+	if err := run([]string{"-quick", "-update", "fig7"}); err == nil {
+		t.Fatal("-quick -update accepted")
+	}
+}
+
+// -update writes a snapshot that -verify then accepts, and a corrupted
+// snapshot is rejected.
+func TestRunUpdateThenVerify(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-golden", dir, "-update", "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-golden", dir, "-verify", "fig7"}); err != nil {
+		t.Fatalf("fresh snapshot rejected: %v", err)
+	}
+	path := filepath.Join(dir, "fig7.txt")
+	if err := os.WriteFile(path, []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-golden", dir, "-verify", "fig7"}); err == nil {
+		t.Fatal("tampered snapshot accepted")
+	}
+}
+
+// The embedded fallback serves snapshots when the -golden directory does
+// not exist (e.g. maiabench run outside the repository).
+func TestGoldenSourceFallsBackToEmbedded(t *testing.T) {
+	src := goldenSource(filepath.Join(t.TempDir(), "nope"))
+	data, err := fs.ReadFile(src, "table1.txt")
+	if err != nil {
+		t.Fatalf("embedded fallback missing table1 snapshot: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("embedded table1 snapshot is empty")
 	}
 }

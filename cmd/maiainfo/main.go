@@ -5,45 +5,54 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"maia/internal/machine"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "maiainfo:", err)
+		os.Exit(1)
+	}
+}
+
+// run writes the full system description to w.
+func run(w io.Writer) error {
 	sys := machine.NewSystem()
 	n := sys.Node
-	fmt.Printf("%s\n", sys.Name)
-	fmt.Printf("  nodes:        %d (%s)\n", sys.Nodes, sys.Interconnect)
-	fmt.Printf("  filesystem:   %s\n", sys.FileSystem)
-	fmt.Printf("  software:     %s, %s, %s, %s\n", sys.Compiler, sys.MPILibrary, sys.MathLibrary, sys.OS)
+	fmt.Fprintf(w, "%s\n", sys.Name)
+	fmt.Fprintf(w, "  nodes:        %d (%s)\n", sys.Nodes, sys.Interconnect)
+	fmt.Fprintf(w, "  filesystem:   %s\n", sys.FileSystem)
+	fmt.Fprintf(w, "  software:     %s, %s, %s, %s\n", sys.Compiler, sys.MPILibrary, sys.MathLibrary, sys.OS)
 	host, phi, total := sys.PeakTflops()
-	fmt.Printf("  peak:         %.1f TF host + %.1f TF Phi = %.1f TF\n", host, phi, total)
-	fmt.Println()
+	fmt.Fprintf(w, "  peak:         %.1f TF host + %.1f TF Phi = %.1f TF\n", host, phi, total)
+	fmt.Fprintln(w)
 
 	describe := func(name string, p machine.ProcessorSpec, count int, memGB int) {
-		fmt.Printf("%s: %d x %s (%s)\n", name, count, p.Name, p.Architecture)
-		fmt.Printf("  cores:        %d @ %.2f GHz, %d-bit SIMD, %d flops/clock, %d threads/core (%v)\n",
+		fmt.Fprintf(w, "%s: %d x %s (%s)\n", name, count, p.Name, p.Architecture)
+		fmt.Fprintf(w, "  cores:        %d @ %.2f GHz, %d-bit SIMD, %d flops/clock, %d threads/core (%v)\n",
 			p.Cores, p.BaseGHz, p.SIMDWidthBits, p.FlopsPerClock, p.ThreadsPerCore, p.MT)
-		fmt.Printf("  peak:         %.1f Gflop/s per core, %.1f Gflop/s per processor\n",
+		fmt.Fprintf(w, "  peak:         %.1f Gflop/s per core, %.1f Gflop/s per processor\n",
 			p.PeakGflopsPerCore(), p.PeakGflops())
 		for _, c := range p.Caches {
 			shared := ""
 			if c.Shared {
 				shared = " (shared)"
 			}
-			fmt.Printf("  %-4s          %s, %d-way, %.1f ns%s\n",
+			fmt.Fprintf(w, "  %-4s          %s, %d-way, %.1f ns%s\n",
 				c.Name+":", sizeLabel(c.SizeBytes), c.Assoc, c.LatencyNs, shared)
 		}
-		fmt.Printf("  memory:       %d GB %s, %d channels, %.1f GB/s peak (%.0f GB/s sustained triad), %.0f ns\n",
+		fmt.Fprintf(w, "  memory:       %d GB %s, %d channels, %.1f GB/s peak (%.0f GB/s sustained triad), %.0f ns\n",
 			memGB, p.MemTechnology, p.MemChannels, p.MemPeakGBs, p.MemSustainedGBs, p.MemLatencyNs)
 	}
 	describe("host", n.HostProc, n.Sockets, n.HostMemGB)
-	fmt.Println()
+	fmt.Fprintln(w)
 	describe("coprocessor", n.PhiProc, n.Phis, n.PhiProc.MemGB)
-	fmt.Println()
-	fmt.Printf("fabrics: %s; %s per Phi; %s\n", n.QPI.Name, n.PCIe.Name, n.HCA.Name)
-	os.Exit(0)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "fabrics: %s; %s per Phi; %s\n", n.QPI.Name, n.PCIe.Name, n.HCA.Name)
+	return nil
 }
 
 func sizeLabel(b int) string {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The info card succeeds and names both processors, the fabrics, and the
+// paper's headline peak.
+func TestRunPrintsSystemCard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"SGI Rackable",
+		"Intel Xeon E5-2670",
+		"Intel Xeon Phi 5110P",
+		"nodes:        128",
+		"TF host",
+		"QPI",
+		"PCIe 2.0 x16",
+		"InfiniBand",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 20 {
+		t.Errorf("suspiciously short output: %d lines", lines)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if got := sizeLabel(32 << 10); got != "32 KB" {
+		t.Errorf("sizeLabel(32K) = %q", got)
+	}
+	if got := sizeLabel(20 << 20); got != "20 MB" {
+		t.Errorf("sizeLabel(20M) = %q", got)
+	}
+}

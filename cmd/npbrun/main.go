@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -25,44 +26,66 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "all", "ep|cg|mg|ft|is|bt|lu|sp|all")
-	class := flag.String("class", "S", "problem class for EP/CG/IS (S or W)")
-	threads := flag.Int("threads", 8, "simulated OpenMP team width")
-	mpiRanks := flag.Int("mpi", 0, "also run every distributed-memory kernel with this many MPI ranks")
-	flag.Parse()
-
-	team := simomp.NewTeam(simomp.New(
-		machine.HostCoresPartition(machine.NewNode(), *threads, 1)))
-
-	var failed bool
-	run := func(name string, f func() error) {
-		if *bench != "all" && *bench != name {
-			return
-		}
-		fmt.Printf("--- %s ---\n", strings.ToUpper(name))
-		if err := f(); err != nil {
-			fmt.Printf("FAILED: %v\n", err)
-			failed = true
-			return
-		}
-		fmt.Println("VERIFIED")
-	}
-
-	run("ep", func() error { return runEP(*class, team, *mpiRanks) })
-	run("cg", func() error { return runCG(*class, team, *mpiRanks) })
-	run("mg", func() error { return runMG(team, *mpiRanks) })
-	run("ft", func() error { return runFT(team, *mpiRanks) })
-	run("is", func() error { return runIS(*class, team, *mpiRanks) })
-	run("bt", func() error { return runBT(team, *mpiRanks) })
-	run("lu", func() error { return runLU(team, *mpiRanks) })
-	run("sp", func() error { return runSP(team, *mpiRanks) })
-
-	if failed {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "npbrun:", err)
 		os.Exit(1)
 	}
 }
 
-func runEP(class string, team *simomp.Team, mpiRanks int) error {
+// benchNames lists the kernels in suite order.
+var benchNames = []string{"ep", "cg", "mg", "ft", "is", "bt", "lu", "sp"}
+
+// run executes the selected kernels and writes their verification
+// transcripts to w; it returns an error if any kernel fails to verify,
+// or if the arguments are invalid.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("npbrun", flag.ContinueOnError)
+	bench := fs.String("bench", "all", "ep|cg|mg|ft|is|bt|lu|sp|all")
+	class := fs.String("class", "S", "problem class for EP/CG/IS (S or W)")
+	threads := fs.Int("threads", 8, "simulated OpenMP team width")
+	mpiRanks := fs.Int("mpi", 0, "also run every distributed-memory kernel with this many MPI ranks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kernels := map[string]func() error{}
+	team := simomp.NewTeam(simomp.New(
+		machine.HostCoresPartition(machine.NewNode(), *threads, 1)))
+	kernels["ep"] = func() error { return runEP(w, *class, team, *mpiRanks) }
+	kernels["cg"] = func() error { return runCG(w, *class, team, *mpiRanks) }
+	kernels["mg"] = func() error { return runMG(w, team, *mpiRanks) }
+	kernels["ft"] = func() error { return runFT(w, team, *mpiRanks) }
+	kernels["is"] = func() error { return runIS(w, *class, team, *mpiRanks) }
+	kernels["bt"] = func() error { return runBT(w, team, *mpiRanks) }
+	kernels["lu"] = func() error { return runLU(w, team, *mpiRanks) }
+	kernels["sp"] = func() error { return runSP(w, team, *mpiRanks) }
+	if *bench != "all" {
+		if _, ok := kernels[*bench]; !ok {
+			return fmt.Errorf("unknown benchmark %q (want one of %s, or all)",
+				*bench, strings.Join(benchNames, "|"))
+		}
+	}
+
+	failed := 0
+	for _, name := range benchNames {
+		if *bench != "all" && *bench != name {
+			continue
+		}
+		fmt.Fprintf(w, "--- %s ---\n", strings.ToUpper(name))
+		if err := kernels[name](); err != nil {
+			fmt.Fprintf(w, "FAILED: %v\n", err)
+			failed++
+			continue
+		}
+		fmt.Fprintln(w, "VERIFIED")
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) failed verification", failed)
+	}
+	return nil
+}
+
+func runEP(w io.Writer, class string, team *simomp.Team, mpiRanks int) error {
 	pairs := int64(1) << 24
 	if class == "W" {
 		pairs = 1 << 25
@@ -71,7 +94,7 @@ func runEP(class string, team *simomp.Team, mpiRanks int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pairs=2^%d sx=%.12e sy=%.12e accepted=%d\n",
+	fmt.Fprintf(w, "pairs=2^%d sx=%.12e sy=%.12e accepted=%d\n",
 		log2i(pairs), res.Sx, res.Sy, res.Accepted)
 	if mpiRanks > 0 {
 		mres, err := npb.RunEPMPI(pairs, mpiRanks)
@@ -81,7 +104,7 @@ func runEP(class string, team *simomp.Team, mpiRanks int) error {
 		if mres.Accepted != res.Accepted || math.Abs(mres.Sx-res.Sx) > 1e-9 {
 			return fmt.Errorf("MPI EP diverges from serial")
 		}
-		fmt.Printf("MPI(%d ranks): sums match serial\n", mpiRanks)
+		fmt.Fprintf(w, "MPI(%d ranks): sums match serial\n", mpiRanks)
 	}
 	if class == "S" {
 		// The official NPB 3.3 class S verification values.
@@ -96,7 +119,7 @@ func runEP(class string, team *simomp.Team, mpiRanks int) error {
 	return nil
 }
 
-func runCG(class string, team *simomp.Team, mpiRanks int) error {
+func runCG(w io.Writer, class string, team *simomp.Team, mpiRanks int) error {
 	n, nz, iters, shift := 1400, 7, 15, 10.0
 	if class == "W" {
 		n, nz, shift = 7000, 8, 12.0
@@ -106,7 +129,7 @@ func runCG(class string, team *simomp.Team, mpiRanks int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("n=%d nnz=%d zeta=%.10f residual=%.3e\n", n, m.NNZ(), res.Zeta, res.Residual)
+	fmt.Fprintf(w, "n=%d nnz=%d zeta=%.10f residual=%.3e\n", n, m.NNZ(), res.Zeta, res.Residual)
 	if res.Residual > 1e-6 {
 		return fmt.Errorf("inner CG residual %v too large", res.Residual)
 	}
@@ -119,7 +142,7 @@ func runCG(class string, team *simomp.Team, mpiRanks int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("MPI(%d ranks): zeta=%.10f\n", mpiRanks, mres.Zeta)
+		fmt.Fprintf(w, "MPI(%d ranks): zeta=%.10f\n", mpiRanks, mres.Zeta)
 		if math.Abs(mres.Zeta-res.Zeta) > 1e-9*math.Abs(res.Zeta) {
 			return fmt.Errorf("MPI zeta diverges from serial")
 		}
@@ -127,7 +150,7 @@ func runCG(class string, team *simomp.Team, mpiRanks int) error {
 	return nil
 }
 
-func runMG(team *simomp.Team, mpiRanks int) error {
+func runMG(w io.Writer, team *simomp.Team, mpiRanks int) error {
 	res, err := npb.RunMG(32, 4, team, false)
 	if err != nil {
 		return err
@@ -142,13 +165,13 @@ func runMG(team *simomp.Team, mpiRanks int) error {
 				return fmt.Errorf("MPI residual %d diverges from serial", c)
 			}
 		}
-		fmt.Printf("MPI(%d ranks): residual history matches serial\n", mpiRanks)
+		fmt.Fprintf(w, "MPI(%d ranks): residual history matches serial\n", mpiRanks)
 	}
-	fmt.Printf("32^3 grid, residuals per V-cycle: %.3e", res.ResidualNorms[0])
+	fmt.Fprintf(w, "32^3 grid, residuals per V-cycle: %.3e", res.ResidualNorms[0])
 	for _, r := range res.ResidualNorms[1:] {
-		fmt.Printf(" -> %.3e", r)
+		fmt.Fprintf(w, " -> %.3e", r)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	last := res.ResidualNorms[len(res.ResidualNorms)-1]
 	if last >= res.ResidualNorms[0]/4 {
 		return fmt.Errorf("V-cycles not contracting")
@@ -156,7 +179,7 @@ func runMG(team *simomp.Team, mpiRanks int) error {
 	return nil
 }
 
-func runFT(team *simomp.Team, mpiRanks int) error {
+func runFT(w io.Writer, team *simomp.Team, mpiRanks int) error {
 	res, err := npb.RunFT(32, 32, 16, 4, team)
 	if err != nil {
 		return err
@@ -172,13 +195,13 @@ func runFT(team *simomp.Team, mpiRanks int) error {
 				return fmt.Errorf("MPI checksum %d diverges from serial", s)
 			}
 		}
-		fmt.Printf("MPI(%d ranks): checksums match serial\n", mpiRanks)
+		fmt.Fprintf(w, "MPI(%d ranks): checksums match serial\n", mpiRanks)
 	}
-	fmt.Printf("32x32x16 grid, checksums:")
+	fmt.Fprintf(w, "32x32x16 grid, checksums:")
 	for _, c := range res.Checksums {
-		fmt.Printf(" (%.4f,%.4f)", real(c), imag(c))
+		fmt.Fprintf(w, " (%.4f,%.4f)", real(c), imag(c))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for i := 1; i < len(res.Energies); i++ {
 		if res.Energies[i] > res.Energies[i-1]*(1+1e-12) {
 			return fmt.Errorf("diffusion energy grew at step %d", i)
@@ -194,7 +217,7 @@ func runFT(team *simomp.Team, mpiRanks int) error {
 	return nil
 }
 
-func runIS(class string, team *simomp.Team, mpiRanks int) error {
+func runIS(w io.Writer, class string, team *simomp.Team, mpiRanks int) error {
 	n, maxKey := int64(1)<<16, int64(1)<<11
 	if class == "W" {
 		n, maxKey = 1<<20, 1<<16
@@ -204,7 +227,7 @@ func runIS(class string, team *simomp.Team, mpiRanks int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("keys=2^%d maxKey=2^%d iterations=%d\n", log2i(n), log2i(maxKey), res.Iterations)
+	fmt.Fprintf(w, "keys=2^%d maxKey=2^%d iterations=%d\n", log2i(n), log2i(maxKey), res.Iterations)
 	if err := npb.ISVerify(keys, maxKey, 10, res); err != nil {
 		return err
 	}
@@ -218,55 +241,55 @@ func runIS(class string, team *simomp.Team, mpiRanks int) error {
 				return fmt.Errorf("MPI sort diverges from serial at %d", i)
 			}
 		}
-		fmt.Printf("MPI(%d ranks): sorted output matches serial\n", mpiRanks)
+		fmt.Fprintf(w, "MPI(%d ranks): sorted output matches serial\n", mpiRanks)
 	}
 	return nil
 }
 
-func runBT(team *simomp.Team, mpiRanks int) error {
+func runBT(w io.Writer, team *simomp.Team, mpiRanks int) error {
 	norms, err := npb.RunBT(12, 20, team)
 	if err != nil {
 		return err
 	}
-	if err := checkSettling("BT", norms); err != nil {
+	if err := checkSettling(w, "BT", norms); err != nil {
 		return err
 	}
-	return checkMPINorms("BT", norms, mpiRanks, func(ranks int) ([]float64, error) {
+	return checkMPINorms(w, "BT", norms, mpiRanks, func(ranks int) ([]float64, error) {
 		return npb.RunBTMPI(12, 20, ranks)
 	})
 }
 
-func runLU(team *simomp.Team, mpiRanks int) error {
+func runLU(w io.Writer, team *simomp.Team, mpiRanks int) error {
 	res, err := npb.RunLU(10, 8, team)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("10^3 grid, SSOR residuals: %.3e -> %.3e over %d sweeps\n",
+	fmt.Fprintf(w, "10^3 grid, SSOR residuals: %.3e -> %.3e over %d sweeps\n",
 		res[0], res[len(res)-1], len(res))
 	if res[len(res)-1] >= res[0]/10 {
 		return fmt.Errorf("SSOR not converging")
 	}
-	return checkMPINorms("LU", res, mpiRanks, func(ranks int) ([]float64, error) {
+	return checkMPINorms(w, "LU", res, mpiRanks, func(ranks int) ([]float64, error) {
 		return npb.RunLUMPI(10, 8, ranks)
 	})
 }
 
-func runSP(team *simomp.Team, mpiRanks int) error {
+func runSP(w io.Writer, team *simomp.Team, mpiRanks int) error {
 	norms, err := npb.RunSP(12, 20, team)
 	if err != nil {
 		return err
 	}
-	if err := checkSettling("SP", norms); err != nil {
+	if err := checkSettling(w, "SP", norms); err != nil {
 		return err
 	}
-	return checkMPINorms("SP", norms, mpiRanks, func(ranks int) ([]float64, error) {
+	return checkMPINorms(w, "SP", norms, mpiRanks, func(ranks int) ([]float64, error) {
 		return npb.RunSPMPI(12, 20, ranks)
 	})
 }
 
 // checkMPINorms runs the distributed variant and compares its norm
 // history with the serial run.
-func checkMPINorms(name string, serial []float64, ranks int, f func(int) ([]float64, error)) error {
+func checkMPINorms(w io.Writer, name string, serial []float64, ranks int, f func(int) ([]float64, error)) error {
 	if ranks <= 0 {
 		return nil
 	}
@@ -279,12 +302,12 @@ func checkMPINorms(name string, serial []float64, ranks int, f func(int) ([]floa
 			return fmt.Errorf("%s MPI norm %d diverges from serial", name, s)
 		}
 	}
-	fmt.Printf("MPI(%d ranks): norm history matches serial\n", ranks)
+	fmt.Fprintf(w, "MPI(%d ranks): norm history matches serial\n", ranks)
 	return nil
 }
 
-func checkSettling(name string, norms []float64) error {
-	fmt.Printf("%s: 12^3 grid, %d ADI steps, final norm %.6f\n", name, len(norms), norms[len(norms)-1])
+func checkSettling(w io.Writer, name string, norms []float64) error {
+	fmt.Fprintf(w, "%s: 12^3 grid, %d ADI steps, final norm %.6f\n", name, len(norms), norms[len(norms)-1])
 	early := math.Abs(norms[1] - norms[0])
 	late := math.Abs(norms[len(norms)-1] - norms[len(norms)-2])
 	if late > early {

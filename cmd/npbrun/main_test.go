@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// EP class S reproduces the official NPB verification sums and reports
+// VERIFIED.
+func TestRunEPClassS(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench", "ep", "-class", "S", "-threads", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"--- EP ---", "accepted=13176389", "VERIFIED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAILED") {
+		t.Errorf("unexpected failure:\n%s", out)
+	}
+}
+
+// The distributed MG run matches the serial residual history.
+func TestRunMGWithMPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench", "mg", "-mpi", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"--- MG ---", "MPI(2 ranks): residual history matches serial", "VERIFIED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Unknown benchmarks and bad flags are rejected (main exits nonzero on
+// the returned error).
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-bench", "nosuch"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,42 @@
+// Smoke tests for the examples/ programs: each must build and run to
+// completion, printing its headline lines — so refactors can't silently
+// break the documented entry points.
+package main_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// exampleChecks maps each example to substrings its output must contain.
+var exampleChecks = map[string][]string{
+	"quickstart":  {"node: 16 host cores", "STREAM triad", "offload"},
+	"npbsweep":    {"NPB class C, OpenMP", "NPB class C, MPI", "FT"},
+	"cfd":         {"cart3d", "overflow", "MPI"},
+	"offload":     {"offload PCIe bandwidth", "framing ceiling"},
+	"distributed": {"NPB kernels", "EP", "MATCHES serial"},
+}
+
+// Every example builds and runs successfully with the expected output.
+func TestExamplesBuildAndRun(t *testing.T) {
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./examples/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+	for name, wants := range exampleChecks {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			out, err := exec.Command(bin + "/" + name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s exited with %v\n%s", name, err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q", name, want)
+				}
+			}
+		})
+	}
+}

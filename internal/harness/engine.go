@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Result is the metadata of one experiment executed by the engine.
+type Result struct {
+	// ID and Title identify the experiment.
+	ID    string
+	Title string
+	// Index is the experiment's position in presentation order.
+	Index int
+	// Wall is the host wall-clock time the experiment took (the virtual
+	// times it simulates are unaffected by scheduling).
+	Wall time.Duration
+	// Bytes is the size of the experiment's rendered output.
+	Bytes int
+	// Err is the experiment's failure, if any.
+	Err error
+}
+
+// Render writes e's framed output — header, paper line, body, trailing
+// blank line — exactly as RunAll emits it. Concatenating renders in
+// presentation order therefore reproduces RunAll byte for byte.
+func Render(w io.Writer, e Experiment, env Env) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper); err != nil {
+		return err
+	}
+	if err := e.Run(w, env); err != nil {
+		return fmt.Errorf("harness: %s: %w", e.ID, err)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderBytes returns e's framed output as a byte slice.
+func RenderBytes(e Experiment, env Env) ([]byte, error) {
+	var buf bytes.Buffer
+	err := Render(&buf, e, env)
+	return buf.Bytes(), err
+}
+
+// RunExperiments executes exps on a pool of workers goroutines, each
+// experiment against its own Env clone, and writes the buffered outputs
+// to w in slice order as they become available — so the bytes written
+// are identical to rendering the slice sequentially, regardless of
+// worker count or completion order. Like RunAll, output stops at the
+// first experiment that fails (its error is returned); experiments after
+// it still execute and report through the returned Results, which are
+// indexed in slice order.
+func RunExperiments(w io.Writer, env Env, exps []Experiment, workers int) ([]Result, error) {
+	n := len(exps)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]Result, n)
+	bufs := make([]bytes.Buffer, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := exps[i]
+				start := time.Now()
+				err := Render(&bufs[i], e, env.Clone())
+				results[i] = Result{
+					ID:    e.ID,
+					Title: e.Title,
+					Index: i,
+					Wall:  time.Since(start),
+					Bytes: bufs[i].Len(),
+					Err:   err,
+				}
+				close(ready[i])
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	var firstErr error
+	for i := 0; i < n; i++ {
+		<-ready[i]
+		if firstErr != nil {
+			continue
+		}
+		if results[i].Err != nil {
+			firstErr = results[i].Err
+			continue
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			firstErr = err
+		}
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// RunAllParallel runs every registered experiment on workers goroutines
+// and assembles the output in presentation order: the bytes written to w
+// are identical to RunAll's.
+func RunAllParallel(w io.Writer, env Env, workers int) ([]Result, error) {
+	return RunExperiments(w, env, All(), workers)
+}

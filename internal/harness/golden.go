@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Golden snapshots: the byte-exact output of every experiment in full
+// (non-Quick) mode, one file per experiment under testdata/golden. They
+// pin the whole Section 6 reproduction — any change to a printed number
+// is surfaced as a diff instead of slipping through — and they are what
+// `maiabench -verify` checks and `maiabench -update` regenerates.
+
+//go:embed testdata/golden
+var goldenFS embed.FS
+
+// DefaultGoldenDir is the repository-relative directory holding the
+// committed golden snapshots; `maiabench -update` writes here.
+const DefaultGoldenDir = "internal/harness/testdata/golden"
+
+// goldenName returns the snapshot file name for an experiment ID.
+func goldenName(id string) string { return id + ".txt" }
+
+// EmbeddedGolden returns the golden snapshots embedded at build time,
+// rooted at the per-experiment files.
+func EmbeddedGolden() fs.FS {
+	sub, err := fs.Sub(goldenFS, "testdata/golden")
+	if err != nil {
+		panic(err) // unreachable: the embed directive guarantees the path
+	}
+	return sub
+}
+
+// UpdateGolden renders every experiment in exps with env and writes one
+// snapshot file per experiment into dir, creating it if needed.
+func UpdateGolden(dir string, env Env, exps []Experiment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range exps {
+		out, err := RenderBytes(e, env)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, goldenName(e.ID)), out, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyGolden re-renders every experiment in exps with env and compares
+// the bytes against the snapshots in golden (use EmbeddedGolden for the
+// build-time copies). It collects every mismatch into a single error so
+// a drifted run reports the full damage at once.
+func VerifyGolden(env Env, exps []Experiment, golden fs.FS) error {
+	var bad []string
+	for _, e := range exps {
+		want, err := fs.ReadFile(golden, goldenName(e.ID))
+		if err != nil {
+			bad = append(bad, e.ID+" (no snapshot)")
+			continue
+		}
+		got, renderErr := RenderBytes(e, env)
+		if renderErr != nil {
+			return renderErr
+		}
+		if !bytes.Equal(got, want) {
+			bad = append(bad, e.ID)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("golden mismatch: %s (regenerate with maiabench -update all)",
+			strings.Join(bad, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"flag"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+// -update regenerates the committed snapshots:
+//
+//	go test ./internal/harness -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden snapshots")
+
+// Every experiment's full-mode output matches its committed golden
+// snapshot byte for byte. This pins the entire Section 6 reproduction:
+// a model change that moves any printed number fails here (rerun with
+// -update after deliberate changes).
+func TestGoldenSnapshots(t *testing.T) {
+	env := DefaultEnv() // full mode: snapshots are what `maiabench all` prints
+	if *updateGolden {
+		if err := UpdateGolden("testdata/golden", env, All()); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if err := VerifyGolden(env, All(), os.DirFS("testdata/golden")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The build-time embedded copies stay in sync with the files on disk.
+func TestGoldenEmbeddedInSync(t *testing.T) {
+	embedded := EmbeddedGolden()
+	for _, e := range All() {
+		disk, err := os.ReadFile("testdata/golden/" + goldenName(e.ID))
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -update)", e.ID, err)
+		}
+		emb, err := fs.ReadFile(embedded, goldenName(e.ID))
+		if err != nil {
+			t.Fatalf("%s: not embedded: %v", e.ID, err)
+		}
+		if string(disk) != string(emb) {
+			t.Errorf("%s: embedded snapshot differs from disk (stale build?)", e.ID)
+		}
+	}
+}

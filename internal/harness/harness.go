@@ -39,6 +39,15 @@ func DefaultEnv() Env {
 	return Env{Model: core.DefaultModel(), Node: machine.NewNode()}
 }
 
+// Clone returns an Env that shares no mutable state with env: the Model
+// (a value) is copied and the Node is deep-copied, so experiments running
+// against clones can execute concurrently.
+func (env Env) Clone() Env {
+	c := env
+	c.Node = env.Node.Clone()
+	return c
+}
+
 // registry is populated by the per-area files' init functions.
 var registry = map[string]Experiment{}
 
@@ -66,33 +75,29 @@ func All() []Experiment {
 	return out
 }
 
-// orderKey sorts "table1" first, then figN numerically, then the
-// extension experiments (ext-*) alphabetically at the end.
-func orderKey(id string) int {
+// orderKey maps an experiment ID to a sortable key: "table1" first,
+// then figN numerically, then the remaining reproduction experiments
+// ("report"), then the extension experiments (ext-*) ordered by their
+// full suffix.
+func orderKey(id string) string {
 	var n int
 	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
-		return n
+		return fmt.Sprintf("1:%04d", n)
 	}
 	if id == "table1" {
-		return -1
+		return "0"
 	}
-	// Extensions: stable order by first letter after "ext-".
 	if len(id) > 4 && id[:4] == "ext-" {
-		return 1000 + int(id[4])
+		return "3:" + id[4:]
 	}
-	return 500
+	return "2:" + id
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in presentation order, streaming each
+// one's framed output to w as it completes.
 func RunAll(w io.Writer, env Env) error {
 	for _, e := range All() {
-		if _, err := fmt.Fprintf(w, "== %s: %s ==\npaper: %s\n", e.ID, e.Title, e.Paper); err != nil {
-			return err
-		}
-		if err := e.Run(w, env); err != nil {
-			return fmt.Errorf("harness: %s: %w", e.ID, err)
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
+		if err := Render(w, e, env); err != nil {
 			return err
 		}
 	}

@@ -57,7 +57,7 @@ func TestAllOrdered(t *testing.T) {
 	if all[0].ID != "table1" {
 		t.Fatalf("first experiment is %s, want table1", all[0].ID)
 	}
-	prev := -1
+	prev := orderKey(all[0].ID)
 	for _, e := range all[1:] {
 		k := orderKey(e.ID)
 		if k <= prev {

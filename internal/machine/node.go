@@ -64,6 +64,19 @@ func NewNode() *Node {
 	}
 }
 
+// Clone returns an independent deep copy of the node: the processor
+// specs (including their cache-level slices) are copied, so concurrent
+// users of clones share no mutable state.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.HostProc = n.HostProc.Clone()
+	c.PhiProc = n.PhiProc.Clone()
+	return &c
+}
+
 // Proc returns the processor spec backing device d.
 func (n *Node) Proc(d Device) ProcessorSpec {
 	if d.IsPhi() {

@@ -86,6 +86,14 @@ type ProcessorSpec struct {
 	OSReservedCores int
 }
 
+// Clone returns a deep copy of the spec: the Caches slice is copied, so
+// mutating the clone's cache levels cannot affect the original.
+func (p ProcessorSpec) Clone() ProcessorSpec {
+	c := p
+	c.Caches = append([]CacheLevel(nil), p.Caches...)
+	return c
+}
+
 // PeakGflopsPerCore returns the peak double-precision rate of one core.
 func (p ProcessorSpec) PeakGflopsPerCore() float64 {
 	return p.BaseGHz * float64(p.FlopsPerClock)
