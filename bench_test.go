@@ -24,12 +24,11 @@ import (
 // benchExperiment runs one harness experiment per iteration.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	e, ok := harness.ByID(id)
+	e, ok := harness.Paper().ByID(id)
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
-	env := harness.DefaultEnv()
-	env.Quick = true
+	env := harness.DefaultEnv(harness.WithQuick(true))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(io.Discard, env); err != nil {
@@ -258,17 +257,17 @@ func BenchmarkKernelCart3DStep(b *testing.B) {
 // cloned Env.
 func benchRunAll(b *testing.B, workers int) {
 	b.Helper()
-	env := harness.DefaultEnv()
-	env.Quick = true
+	reg := harness.Paper()
+	env := harness.DefaultEnv(harness.WithQuick(true))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if workers == 0 {
-			if err := harness.RunAll(io.Discard, env); err != nil {
+			if err := reg.RunAll(io.Discard, env); err != nil {
 				b.Fatal(err)
 			}
 			continue
 		}
-		if _, err := harness.RunAllParallel(io.Discard, env, workers); err != nil {
+		if _, err := reg.RunAllParallel(io.Discard, env, workers); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,12 @@
 // environment and the simulation is virtual-time deterministic, the
 // assembled output is byte-identical to a sequential run.
 //
+// With -trace (or -trace-summary) the simulated runtimes also record
+// every virtual-time event — MPI operations and their transport
+// flights, OpenMP constructs, offload phases, DMA, I/O — into a
+// simtrace tracer: -trace writes Chrome trace_event JSON loadable at
+// ui.perfetto.dev, -trace-summary prints the per-category rollup.
+//
 // Usage:
 //
 //	maiabench -list
@@ -17,6 +23,8 @@
 //	maiabench -parallel 8 all
 //	maiabench -verify all        # compare against golden snapshots
 //	maiabench -update all        # regenerate golden snapshots
+//	maiabench -trace out.json fig13
+//	maiabench -trace-summary fig26
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"runtime"
 
 	"maia/internal/harness"
+	"maia/internal/simtrace"
 )
 
 func main() {
@@ -46,25 +55,32 @@ func run(args []string) error {
 	goldenDir := fs.String("golden", harness.DefaultGoldenDir,
 		"golden snapshot directory (-verify falls back to the build-time copies when it does not exist)")
 	stats := fs.Bool("stats", false, "print per-experiment wall time and output size to stderr")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of all virtual-time spans to this file (load at ui.perfetto.dev)")
+	traceSummary := fs.Bool("trace-summary", false, "print the per-category trace time/bytes summary after the run")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
-			"usage: maiabench [-quick] [-parallel N] [-verify|-update] [-stats] [-list] <experiment>... | all")
+			"usage: maiabench [-quick] [-parallel N] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-list] <experiment>... | all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	env := harness.DefaultEnv()
-	env.Quick = *quick
+	reg := harness.Paper()
+
+	var tracer *simtrace.Tracer
+	if *tracePath != "" || *traceSummary {
+		tracer = simtrace.New()
+	}
+	env := harness.DefaultEnv(harness.WithQuick(*quick), harness.WithTracer(tracer))
 
 	if *list {
-		for _, e := range harness.All() {
+		for _, e := range reg.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return nil
 	}
-	exps, err := selectExperiments(fs.Args())
+	exps, err := selectExperiments(reg, fs.Args())
 	if err != nil {
 		if len(fs.Args()) == 0 {
 			fs.Usage()
@@ -99,21 +115,52 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "%-22s %10v %7d B  %s\n", r.ID, r.Wall.Round(1e6), r.Bytes, status)
 		}
 	}
+	if terr := writeTrace(tracer, *tracePath, *traceSummary); terr != nil && err == nil {
+		err = terr
+	}
 	return err
+}
+
+// writeTrace exports what the tracer collected: Chrome JSON to path
+// (when set) and/or the text summary to stdout. Exports run even after
+// a failed experiment — a partial trace is exactly what explains a
+// failure.
+func writeTrace(tracer *simtrace.Tracer, path string, summary bool) error {
+	if tracer == nil {
+		return nil
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "maiabench: wrote %d spans to %s\n", tracer.SpanCount(), path)
+	}
+	if summary {
+		return tracer.Summary().WriteText(os.Stdout)
+	}
+	return nil
 }
 
 // selectExperiments resolves CLI arguments to experiments: the single
 // word "all" means every experiment in presentation order.
-func selectExperiments(ids []string) ([]harness.Experiment, error) {
+func selectExperiments(reg *harness.Registry, ids []string) ([]harness.Experiment, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("no experiments given")
 	}
 	if len(ids) == 1 && ids[0] == "all" {
-		return harness.All(), nil
+		return reg.All(), nil
 	}
 	exps := make([]harness.Experiment, 0, len(ids))
 	for _, id := range ids {
-		e, ok := harness.ByID(id)
+		e, ok := reg.ByID(id)
 		if !ok {
 			return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
 		}

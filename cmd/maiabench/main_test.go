@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -83,5 +84,34 @@ func TestGoldenSourceFallsBackToEmbedded(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Fatal("embedded table1 snapshot is empty")
+	}
+}
+
+// -trace writes a loadable Chrome trace_event JSON and -trace-summary
+// prints the category table; both work together in one invocation.
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-quick", "-trace", path, "-trace-summary", "fig15"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+}
+
+// An unwritable -trace path is a reported error, not a silent drop.
+func TestRunTraceBadPath(t *testing.T) {
+	if err := run([]string{"-quick", "-trace", filepath.Join(t.TempDir(), "no", "such", "dir.json"), "fig15"}); err == nil {
+		t.Fatal("unwritable trace path accepted")
 	}
 }

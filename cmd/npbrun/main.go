@@ -23,6 +23,7 @@ import (
 	"maia/internal/machine"
 	"maia/internal/npb"
 	"maia/internal/simomp"
+	"maia/internal/simtrace"
 )
 
 func main() {
@@ -44,13 +45,22 @@ func run(args []string, w io.Writer) error {
 	class := fs.String("class", "S", "problem class for EP/CG/IS (S or W)")
 	threads := fs.Int("threads", 8, "simulated OpenMP team width")
 	mpiRanks := fs.Int("mpi", 0, "also run every distributed-memory kernel with this many MPI ranks")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the kernels' OpenMP constructs to this file")
+	traceSummary := fs.Bool("trace-summary", false, "print a per-category trace summary after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var tracer *simtrace.Tracer
+	if *tracePath != "" || *traceSummary {
+		tracer = simtrace.New()
+		tracer.SetProcess("npbrun")
+	}
+
 	kernels := map[string]func() error{}
-	team := simomp.NewTeam(simomp.New(
-		machine.HostCoresPartition(machine.NewNode(), *threads, 1)))
+	rt := simomp.New(machine.HostCoresPartition(machine.NewNode(), *threads, 1))
+	rt.SetTracer(tracer, fmt.Sprintf("omp:host%d", *threads))
+	team := simomp.NewTeam(rt)
 	kernels["ep"] = func() error { return runEP(w, *class, team, *mpiRanks) }
 	kernels["cg"] = func() error { return runCG(w, *class, team, *mpiRanks) }
 	kernels["mg"] = func() error { return runMG(w, team, *mpiRanks) }
@@ -81,6 +91,27 @@ func run(args []string, w io.Writer) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark(s) failed verification", failed)
+	}
+	if tracer != nil {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChrome(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "npbrun: wrote %d spans to %s\n", tracer.SpanCount(), *tracePath)
+		}
+		if *traceSummary {
+			if err := tracer.Summary().WriteText(w); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

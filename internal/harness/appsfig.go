@@ -12,25 +12,33 @@ import (
 
 // Production-application figures (21, 22, 23).
 
-func init() {
-	register(Experiment{
-		ID:    "fig21",
-		Title: "Cart3D (OneraM6) on host and Phi",
-		Paper: "host ~2x the best Phi; Phi best at 4 threads/core (236 threads)",
-		Run:   runFig21,
-	})
-	register(Experiment{
-		ID:    "fig22",
-		Title: "OVERFLOW (DLRF6-Medium) native host and Phi, (ranks x threads)",
-		Paper: "host best 16x1, worst 1x16; Phi best 8x28, worst 4x14; best Phi 1.8x slower than best host",
-		Run:   runFig22,
-	})
-	register(Experiment{
-		ID:    "fig23",
-		Title: "OVERFLOW (DLRF6-Large) symmetric host+Phi0+Phi1, pre/post update",
-		Paper: "post-update gains 2-28%; 1.9x vs native host; still behind two plain hosts",
-		Run:   runFig23,
-	})
+// appExperiments lists the production-application figures.
+func appExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "fig21",
+		Title:   "Cart3D (OneraM6) on host and Phi",
+		Paper:   "host ~2x the best Phi; Phi best at 4 threads/core (236 threads)",
+		Section: "apps",
+		Kind:    KindFigure,
+		Order:   21,
+		Run:     runFig21,
+	}, {
+		ID:      "fig22",
+		Title:   "OVERFLOW (DLRF6-Medium) native host and Phi, (ranks x threads)",
+		Paper:   "host best 16x1, worst 1x16; Phi best 8x28, worst 4x14; best Phi 1.8x slower than best host",
+		Section: "apps",
+		Kind:    KindFigure,
+		Order:   22,
+		Run:     runFig22,
+	}, {
+		ID:      "fig23",
+		Title:   "OVERFLOW (DLRF6-Large) symmetric host+Phi0+Phi1, pre/post update",
+		Paper:   "post-update gains 2-28%; 1.9x vs native host; still behind two plain hosts",
+		Section: "apps",
+		Kind:    KindFigure,
+		Order:   23,
+		Run:     runFig23,
+	}}
 }
 
 func runFig21(w io.Writer, env Env) error {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"maia/internal/simtrace"
 )
 
 // Result is the metadata of one experiment executed by the engine.
@@ -49,10 +51,16 @@ func RenderBytes(e Experiment, env Env) ([]byte, error) {
 // experiment against its own Env clone, and writes the buffered outputs
 // to w in slice order as they become available — so the bytes written
 // are identical to rendering the slice sequentially, regardless of
-// worker count or completion order. Like RunAll, output stops at the
-// first experiment that fails (its error is returned); experiments after
-// it still execute and report through the returned Results, which are
-// indexed in slice order.
+// worker count or completion order. Like Registry.RunAll, output stops
+// at the first experiment that fails (its error is returned);
+// experiments after it still execute and report through the returned
+// Results, which are indexed in slice order.
+//
+// With tracing enabled (env.Tracer non-nil), each experiment records
+// into a private child tracer whose process name is the experiment ID;
+// the children are merged into env.Tracer in slice order after all
+// workers finish, so the merged trace is deterministic for any worker
+// count.
 func RunExperiments(w io.Writer, env Env, exps []Experiment, workers int) ([]Result, error) {
 	n := len(exps)
 	if workers < 1 {
@@ -68,6 +76,10 @@ func RunExperiments(w io.Writer, env Env, exps []Experiment, workers int) ([]Res
 	for i := range ready {
 		ready[i] = make(chan struct{})
 	}
+	var children []*simtrace.Tracer
+	if env.Tracer != nil {
+		children = make([]*simtrace.Tracer, n)
+	}
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -77,8 +89,14 @@ func RunExperiments(w io.Writer, env Env, exps []Experiment, workers int) ([]Res
 			defer wg.Done()
 			for i := range jobs {
 				e := exps[i]
+				cenv := env.Clone()
+				if children != nil {
+					children[i] = simtrace.New()
+					children[i].SetProcess(e.ID)
+					cenv.Tracer = children[i]
+				}
 				start := time.Now()
-				err := Render(&bufs[i], e, env.Clone())
+				err := Render(&bufs[i], e, cenv)
 				results[i] = Result{
 					ID:    e.ID,
 					Title: e.Title,
@@ -113,12 +131,8 @@ func RunExperiments(w io.Writer, env Env, exps []Experiment, workers int) ([]Res
 		}
 	}
 	wg.Wait()
+	for _, child := range children {
+		env.Tracer.Merge(child)
+	}
 	return results, firstErr
-}
-
-// RunAllParallel runs every registered experiment on workers goroutines
-// and assembles the output in presentation order: the bytes written to w
-// are identical to RunAll's.
-func RunAllParallel(w io.Writer, env Env, workers int) ([]Result, error) {
-	return RunExperiments(w, env, All(), workers)
 }

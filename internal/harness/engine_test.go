@@ -16,20 +16,21 @@ import (
 // experiments.
 func TestParallelMatchesSequential(t *testing.T) {
 	env := quickEnv()
+	reg := Paper()
 	var seq bytes.Buffer
-	if err := RunAll(&seq, env); err != nil {
+	if err := reg.RunAll(&seq, env); err != nil {
 		t.Fatal(err)
 	}
 	var par bytes.Buffer
-	results, err := RunAllParallel(&par, env, 4)
+	results, err := reg.RunAllParallel(&par, env, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
 		t.Error("parallel output differs from sequential")
 	}
-	if len(results) != len(All()) {
-		t.Errorf("%d results, want %d", len(results), len(All()))
+	if len(results) != reg.Len() {
+		t.Errorf("%d results, want %d", len(results), reg.Len())
 	}
 }
 
@@ -70,7 +71,7 @@ func TestParallelOrderAcrossWorkerCounts(t *testing.T) {
 // Run under -race this is also the data-race audit.
 func TestConcurrentDeterminism(t *testing.T) {
 	env := quickEnv()
-	exps := All()
+	exps := Paper().All()
 	outs := make([][2][]byte, len(exps))
 
 	sem := make(chan struct{}, 4) // bound peak memory, not determinism
@@ -102,7 +103,7 @@ func TestConcurrentDeterminism(t *testing.T) {
 // Result metadata matches what was actually written.
 func TestRunExperimentsResults(t *testing.T) {
 	env := quickEnv()
-	exps := All()[:4]
+	exps := Paper().All()[:4]
 	var out bytes.Buffer
 	results, err := RunExperiments(&out, env, exps, 2)
 	if err != nil {
@@ -169,22 +170,5 @@ func TestEnvCloneIsolated(t *testing.T) {
 	c.Model.OSCorePenalty = 99
 	if env.Model.OSCorePenalty == 99 {
 		t.Fatal("Clone shares the Model")
-	}
-}
-
-// orderKey orders ext-* experiments by their full suffix, not just the
-// first letter after "ext-" (IDs sharing a first letter used to tie).
-func TestOrderKeyExtFullSuffix(t *testing.T) {
-	if !(orderKey("ext-alpha") < orderKey("ext-azure")) {
-		t.Error("ext-alpha must sort before ext-azure")
-	}
-	if orderKey("ext-alpha") == orderKey("ext-azure") {
-		t.Error("same-first-letter extensions must not tie")
-	}
-	if !(orderKey("table1") < orderKey("fig4")) ||
-		!(orderKey("fig4") < orderKey("fig27")) ||
-		!(orderKey("fig27") < orderKey("report")) ||
-		!(orderKey("report") < orderKey("ext-checkpoint")) {
-		t.Error("group order broken: table1 < figN < report < ext-*")
 	}
 }

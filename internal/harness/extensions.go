@@ -9,6 +9,7 @@ import (
 	"maia/internal/machine"
 	"maia/internal/memsim"
 	"maia/internal/npb"
+	"maia/internal/offload"
 	"maia/internal/pcie"
 	"maia/internal/simomp"
 	"maia/internal/textplot"
@@ -18,45 +19,55 @@ import (
 // but does not measure. They are marked ext-* and sort after the
 // reproduced figures.
 
-func init() {
-	register(Experiment{
-		ID:    "ext-offload-pipeline",
-		Title: "EXTENSION: double-buffered (signal/wait) offload for MG",
-		Paper: "not in the paper; its conclusion asks for granularity/overhead mitigation — this is the async-offload answer",
-		Run:   runExtOffloadPipeline,
-	})
-	register(Experiment{
-		ID:    "ext-checkpoint",
-		Title: "EXTENSION: checkpointing a 2 GB solution file per device",
-		Paper: "quantifies Section 6.6's warning for checkpointing codes, with the ship-to-host workaround",
-		Run:   runExtCheckpoint,
-	})
-	register(Experiment{
-		ID:    "ext-profile",
-		Title: "EXTENSION: MPInside-style profile of symmetric OVERFLOW",
-		Paper: "quantifies Section 6.9.1.3: compute balance and MPI share behind the symmetric-mode result",
-		Run:   runExtProfile,
-	})
-	register(Experiment{
-		ID:    "ext-tasks",
-		Title: "EXTENSION: OpenMP task overheads on host and Phi",
-		Paper: "the EPCC task suites the paper cites ([22],[24]); tasks follow Figure 15's ~10x pattern",
-		Run:   runExtTasks,
-	})
-	register(Experiment{
-		ID:    "ext-stride",
-		Title: "EXTENSION: measured stride derates from the cache simulator",
-		Paper: "backs the execution model's stride factors with simulated line-waste measurements",
-		Run:   runExtStride,
-	})
+// extensionExperiments lists the ext-* extension studies. They share
+// Order 0, so KindExtension's ID tie-break orders them by full suffix.
+func extensionExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "ext-offload-pipeline",
+		Title:   "EXTENSION: double-buffered (signal/wait) offload for MG",
+		Paper:   "not in the paper; its conclusion asks for granularity/overhead mitigation — this is the async-offload answer",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtOffloadPipeline,
+	}, {
+		ID:      "ext-checkpoint",
+		Title:   "EXTENSION: checkpointing a 2 GB solution file per device",
+		Paper:   "quantifies Section 6.6's warning for checkpointing codes, with the ship-to-host workaround",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtCheckpoint,
+	}, {
+		ID:      "ext-profile",
+		Title:   "EXTENSION: MPInside-style profile of symmetric OVERFLOW",
+		Paper:   "quantifies Section 6.9.1.3: compute balance and MPI share behind the symmetric-mode result",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtProfile,
+	}, {
+		ID:      "ext-tasks",
+		Title:   "EXTENSION: OpenMP task overheads on host and Phi",
+		Paper:   "the EPCC task suites the paper cites ([22],[24]); tasks follow Figure 15's ~10x pattern",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtTasks,
+	}, {
+		ID:      "ext-stride",
+		Title:   "EXTENSION: measured stride derates from the cache simulator",
+		Paper:   "backs the execution model's stride factors with simulated line-waste measurements",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtStride,
+	}}
 }
 
 func runExtOffloadPipeline(w io.Writer, env Env) error {
-	sync, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, npb.OffloadSubroutine)
+	sync, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, npb.OffloadSubroutine,
+		offload.WithTracer(env.Tracer, "offload:sync"))
 	if err != nil {
 		return err
 	}
-	pipe, err := npb.MGOffloadPipelined(env.Model, npb.ClassC, env.Node)
+	pipe, err := npb.MGOffloadPipelined(env.Model, npb.ClassC, env.Node,
+		offload.WithTracer(env.Tracer, "offload:pipelined"))
 	if err != nil {
 		return err
 	}
@@ -84,6 +95,11 @@ func runExtCheckpoint(w io.Writer, env Env) error {
 	for _, dev := range []machine.Device{machine.Host, machine.Phi0, machine.Phi1} {
 		native, workaround, err := iosim.CheckpointTime(stack, dev, solution, 4<<20)
 		if err != nil {
+			return err
+		}
+		// The traced span re-prices the native write (same model call),
+		// so the span duration equals the tabulated time.
+		if _, err := iosim.TraceTransfer(env.Tracer, "ckpt:"+dev.String(), dev, true, solution, 4<<20, 0); err != nil {
 			return err
 		}
 		t.Row(dev, native, workaround)

@@ -19,12 +19,12 @@ var updateGolden = flag.Bool("update", false, "regenerate testdata/golden snapsh
 func TestGoldenSnapshots(t *testing.T) {
 	env := DefaultEnv() // full mode: snapshots are what `maiabench all` prints
 	if *updateGolden {
-		if err := UpdateGolden("testdata/golden", env, All()); err != nil {
+		if err := UpdateGolden("testdata/golden", env, Paper().All()); err != nil {
 			t.Fatal(err)
 		}
 		return
 	}
-	if err := VerifyGolden(env, All(), os.DirFS("testdata/golden")); err != nil {
+	if err := VerifyGolden(env, Paper().All(), os.DirFS("testdata/golden")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,7 +32,7 @@ func TestGoldenSnapshots(t *testing.T) {
 // The build-time embedded copies stay in sync with the files on disk.
 func TestGoldenEmbeddedInSync(t *testing.T) {
 	embedded := EmbeddedGolden()
-	for _, e := range All() {
+	for _, e := range Paper().All() {
 		disk, err := os.ReadFile("testdata/golden/" + goldenName(e.ID))
 		if err != nil {
 			t.Fatalf("%s: %v (regenerate with -update)", e.ID, err)

@@ -5,13 +5,39 @@
 package harness
 
 import (
-	"fmt"
 	"io"
-	"sort"
 
 	"maia/internal/core"
 	"maia/internal/machine"
+	"maia/internal/simtrace"
 )
+
+// Kind groups experiments into presentation tiers; lower kinds print
+// first. Within a Kind, Order then ID decide the sequence.
+type Kind int
+
+// The presentation tiers, in print order.
+const (
+	KindTable     Kind = iota // paper tables (table1)
+	KindFigure                // numbered paper figures (fig4..fig27)
+	KindReport                // whole-paper rollups (report)
+	KindExtension             // beyond-the-paper extensions (ext-*)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTable:
+		return "table"
+	case KindFigure:
+		return "figure"
+	case KindReport:
+		return "report"
+	case KindExtension:
+		return "extension"
+	}
+	return "unknown"
+}
 
 // Experiment is one reproducible table or figure.
 type Experiment struct {
@@ -21,91 +47,77 @@ type Experiment struct {
 	Title string
 	// Paper summarizes what the paper measured (the expectation).
 	Paper string
+	// Section names the paper area the experiment belongs to
+	// ("memory", "interconnect", "mpi", "openmp", "io", "npb",
+	// "apps", "summary", "extension").
+	Section string
+	// Kind is the presentation tier; together with Order and ID it
+	// fully determines print order — no ID string parsing involved.
+	Kind Kind
+	// Order ranks experiments within their Kind (the figure number
+	// for KindFigure); ties fall back to ID comparison, which is how
+	// ext-* extensions order by their full suffix.
+	Order int
 	// Run computes the experiment and writes its rows.
 	Run func(w io.Writer, env Env) error
 }
 
 // Env carries the modeled system every experiment runs against.
 type Env struct {
+	// Model is the calibrated cost model.
 	Model core.Model
-	Node  *machine.Node
+	// Node is the modeled Maia node.
+	Node *machine.Node
 	// Quick trims sweep densities so the full suite stays fast (used by
 	// tests); the printed shape is unchanged.
 	Quick bool
+	// Tracer, when non-nil, receives virtual-time spans and counters
+	// from every instrumented runtime an experiment touches. Nil (the
+	// default) disables tracing at zero cost.
+	Tracer *simtrace.Tracer
 }
 
-// DefaultEnv returns the calibrated environment.
-func DefaultEnv() Env {
-	return Env{Model: core.DefaultModel(), Node: machine.NewNode()}
+// Option configures the Env built by DefaultEnv.
+type Option func(*Env)
+
+// WithQuick sets quick mode (trimmed sweep densities).
+func WithQuick(quick bool) Option {
+	return func(env *Env) { env.Quick = quick }
+}
+
+// WithTracer attaches a simtrace tracer (nil leaves tracing off).
+func WithTracer(t *simtrace.Tracer) Option {
+	return func(env *Env) { env.Tracer = t }
+}
+
+// WithModel substitutes the cost model.
+func WithModel(m core.Model) Option {
+	return func(env *Env) { env.Model = m }
+}
+
+// DefaultEnv returns the calibrated environment, adjusted by opts.
+func DefaultEnv(opts ...Option) Env {
+	env := Env{Model: core.DefaultModel(), Node: machine.NewNode()}
+	for _, opt := range opts {
+		opt(&env)
+	}
+	return env
 }
 
 // Clone returns an Env that shares no mutable state with env: the Model
 // (a value) is copied and the Node is deep-copied, so experiments running
-// against clones can execute concurrently.
+// against clones can execute concurrently. The Tracer pointer is shared —
+// it is the one deliberate cross-experiment sink, and it is safe for
+// concurrent use.
 func (env Env) Clone() Env {
 	c := env
 	c.Node = env.Node.Clone()
 	return c
 }
 
-// registry is populated by the per-area files' init functions.
-var registry = map[string]Experiment{}
-
-func register(e Experiment) {
-	if _, dup := registry[e.ID]; dup {
-		panic("harness: duplicate experiment " + e.ID)
-	}
-	registry[e.ID] = e
-}
-
-// ByID returns the experiment with the given ID.
-func ByID(id string) (Experiment, bool) {
-	e, ok := registry[id]
-	return e, ok
-}
-
-// All returns every experiment in presentation order (table1, then
-// figures by number).
-func All() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
-	return out
-}
-
-// orderKey maps an experiment ID to a sortable key: "table1" first,
-// then figN numerically, then the remaining reproduction experiments
-// ("report"), then the extension experiments (ext-*) ordered by their
-// full suffix.
-func orderKey(id string) string {
-	var n int
-	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
-		return fmt.Sprintf("1:%04d", n)
-	}
-	if id == "table1" {
-		return "0"
-	}
-	if len(id) > 4 && id[:4] == "ext-" {
-		return "3:" + id[4:]
-	}
-	return "2:" + id
-}
-
-// RunAll executes every experiment in presentation order, streaming each
-// one's framed output to w as it completes.
-func RunAll(w io.Writer, env Env) error {
-	for _, e := range All() {
-		if err := Render(w, e, env); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // sizesUpTo returns a 1 B .. max sweep in multiplicative steps of 4
-// (of 16 in Quick mode).
+// (of 16 in Quick mode). A max below 1 yields the single-point sweep
+// {max} rather than indexing into an empty slice.
 func sizesUpTo(env Env, max int) []int {
 	step := 4
 	if env.Quick {
@@ -114,6 +126,9 @@ func sizesUpTo(env Env, max int) []int {
 	var out []int
 	for s := 1; s <= max; s *= step {
 		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return []int{max}
 	}
 	if out[len(out)-1] != max {
 		out = append(out, max)

@@ -7,15 +7,13 @@ import (
 )
 
 func quickEnv() Env {
-	env := DefaultEnv()
-	env.Quick = true
-	return env
+	return DefaultEnv(WithQuick(true))
 }
 
 // Every registered experiment runs without error and produces output.
 func TestAllExperimentsRun(t *testing.T) {
 	env := quickEnv()
-	for _, e := range All() {
+	for _, e := range Paper().All() {
 		var buf bytes.Buffer
 		if err := e.Run(&buf, env); err != nil {
 			t.Errorf("%s: %v", e.ID, err)
@@ -29,18 +27,19 @@ func TestAllExperimentsRun(t *testing.T) {
 
 // The registry covers Table 1 and Figures 4 through 27 without gaps.
 func TestRegistryComplete(t *testing.T) {
+	reg := Paper()
 	want := []string{"table1"}
 	for f := 4; f <= 27; f++ {
 		want = append(want, "fig"+itoa(f))
 	}
 	want = append(want, "report", "ext-offload-pipeline", "ext-checkpoint", "ext-profile", "ext-stride", "ext-tasks")
 	for _, id := range want {
-		if _, ok := ByID(id); !ok {
+		if _, ok := reg.ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)
 		}
 	}
-	if len(All()) != len(want) {
-		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	if reg.Len() != len(want) {
+		t.Errorf("registry has %d experiments, want %d", reg.Len(), len(want))
 	}
 }
 
@@ -51,27 +50,40 @@ func itoa(n int) string {
 	return string(rune('0' + n))
 }
 
-// Presentation order: table1 first, figures ascending, extensions last.
-func TestAllOrdered(t *testing.T) {
-	all := All()
-	if all[0].ID != "table1" {
-		t.Fatalf("first experiment is %s, want table1", all[0].ID)
-	}
-	prev := orderKey(all[0].ID)
-	for _, e := range all[1:] {
-		k := orderKey(e.ID)
-		if k <= prev {
-			t.Fatalf("experiments out of order at %s", e.ID)
+// Every experiment carries complete presentation metadata: a section, a
+// kind consistent with its ID, and (for figures) the figure number as
+// Order.
+func TestExperimentMetadata(t *testing.T) {
+	for _, e := range Paper().All() {
+		if e.Section == "" {
+			t.Errorf("%s has no Section", e.ID)
 		}
-		prev = k
-	}
-	if last := all[len(all)-1].ID; len(last) < 4 || last[:4] != "ext-" {
-		t.Fatalf("extensions must sort last, got %s", last)
+		switch {
+		case e.ID == "table1":
+			if e.Kind != KindTable {
+				t.Errorf("%s kind %v, want table", e.ID, e.Kind)
+			}
+		case strings.HasPrefix(e.ID, "fig"):
+			if e.Kind != KindFigure {
+				t.Errorf("%s kind %v, want figure", e.ID, e.Kind)
+			}
+			if e.ID != "fig"+itoa(e.Order) {
+				t.Errorf("%s has Order %d", e.ID, e.Order)
+			}
+		case strings.HasPrefix(e.ID, "ext-"):
+			if e.Kind != KindExtension {
+				t.Errorf("%s kind %v, want extension", e.ID, e.Kind)
+			}
+		default:
+			if e.Kind != KindReport {
+				t.Errorf("%s kind %v, want report", e.ID, e.Kind)
+			}
+		}
 	}
 }
 
 func TestByIDMissing(t *testing.T) {
-	if _, ok := ByID("fig99"); ok {
+	if _, ok := Paper().ByID("fig99"); ok {
 		t.Fatal("found nonexistent experiment")
 	}
 }
@@ -79,6 +91,7 @@ func TestByIDMissing(t *testing.T) {
 // Spot-check key numbers in the experiments' printed output.
 func TestOutputSpotChecks(t *testing.T) {
 	env := quickEnv()
+	reg := Paper()
 	cases := []struct {
 		id       string
 		contains []string
@@ -100,7 +113,7 @@ func TestOutputSpotChecks(t *testing.T) {
 		{"fig27", []string{"invocations"}},
 	}
 	for _, c := range cases {
-		e, ok := ByID(c.id)
+		e, ok := reg.ByID(c.id)
 		if !ok {
 			t.Errorf("%s missing", c.id)
 			continue
@@ -122,7 +135,7 @@ func TestOutputSpotChecks(t *testing.T) {
 // RunAll stitches every experiment together with headers.
 func TestRunAll(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunAll(&buf, quickEnv()); err != nil {
+	if err := Paper().RunAll(&buf, quickEnv()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -136,8 +149,9 @@ func TestRunAll(t *testing.T) {
 // Experiments are deterministic: two runs produce identical bytes.
 func TestExperimentsDeterministic(t *testing.T) {
 	env := quickEnv()
+	reg := Paper()
 	for _, id := range []string{"fig8", "fig10", "fig13", "fig22"} {
-		e, _ := ByID(id)
+		e, _ := reg.ByID(id)
 		var a, b bytes.Buffer
 		if err := e.Run(&a, env); err != nil {
 			t.Fatal(err)
@@ -148,5 +162,58 @@ func TestExperimentsDeterministic(t *testing.T) {
 		if a.String() != b.String() {
 			t.Errorf("%s is nondeterministic", id)
 		}
+	}
+}
+
+// DefaultEnv options compose; the zero-option call is the calibrated
+// default.
+func TestEnvOptions(t *testing.T) {
+	if env := DefaultEnv(); env.Quick || env.Tracer != nil || env.Node == nil {
+		t.Error("zero-option DefaultEnv is not the calibrated default")
+	}
+	env := DefaultEnv(WithQuick(true))
+	if !env.Quick {
+		t.Error("WithQuick(true) ignored")
+	}
+	m := env.Model
+	m.OSCorePenalty = 99
+	env = DefaultEnv(WithModel(m), WithQuick(true))
+	if env.Model.OSCorePenalty != 99 || !env.Quick {
+		t.Error("WithModel/WithQuick combination ignored")
+	}
+}
+
+// sizesUpTo covers 1..max multiplicatively and always ends exactly at
+// max; a max below the first step must not panic (regression: the
+// empty-loop case used to index out[-1]).
+func TestSizesUpTo(t *testing.T) {
+	env := DefaultEnv()
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{0, []int{0}},
+		{-5, []int{-5}},
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 4}},
+		{64, []int{1, 4, 16, 64}},
+		{100, []int{1, 4, 16, 64, 100}},
+	}
+	for _, c := range cases {
+		got := sizesUpTo(env, c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("sizesUpTo(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("sizesUpTo(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+	if got := sizesUpTo(DefaultEnv(WithQuick(true)), 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("quick sizesUpTo(0) = %v, want [0]", got)
 	}
 }

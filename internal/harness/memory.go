@@ -11,31 +11,41 @@ import (
 
 // Table 1 and the memory-subsystem figures (4, 5, 6).
 
-func init() {
-	register(Experiment{
-		ID:    "table1",
-		Title: "Characteristics of Maia, SGI Rackable system",
-		Paper: "host 20.8 GF/core & 166.4 GF/socket; Phi 16.8 GF/core & 1008 GF; system 301.4 TF",
-		Run:   runTable1,
-	})
-	register(Experiment{
-		ID:    "fig4",
-		Title: "STREAM triad bandwidth for host and Phi",
-		Paper: "Phi peaks at 180 GB/s (59/118 threads), drops to 140 GB/s beyond 118; host ~76 GB/s",
-		Run:   runFig4,
-	})
-	register(Experiment{
-		ID:    "fig5",
-		Title: "Memory load latency for host and Phi",
-		Paper: "host 1.5/4.6/15/81 ns (L1/L2/L3/mem); Phi 2.9/22.9/295 ns (L1/L2/mem)",
-		Run:   runFig5,
-	})
-	register(Experiment{
-		ID:    "fig6",
-		Title: "Read/write memory bandwidth per core",
-		Paper: "host R 12.6/12.3/11.6/7.5, W 10.4/9.5/8.6/7.2 GB/s; Phi R 1.68/0.97/0.50, W 1.54/0.96/0.26",
-		Run:   runFig6,
-	})
+// memoryExperiments lists Table 1 and the memory-subsystem figures.
+func memoryExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "table1",
+		Title:   "Characteristics of Maia, SGI Rackable system",
+		Paper:   "host 20.8 GF/core & 166.4 GF/socket; Phi 16.8 GF/core & 1008 GF; system 301.4 TF",
+		Section: "memory",
+		Kind:    KindTable,
+		Order:   1,
+		Run:     runTable1,
+	}, {
+		ID:      "fig4",
+		Title:   "STREAM triad bandwidth for host and Phi",
+		Paper:   "Phi peaks at 180 GB/s (59/118 threads), drops to 140 GB/s beyond 118; host ~76 GB/s",
+		Section: "memory",
+		Kind:    KindFigure,
+		Order:   4,
+		Run:     runFig4,
+	}, {
+		ID:      "fig5",
+		Title:   "Memory load latency for host and Phi",
+		Paper:   "host 1.5/4.6/15/81 ns (L1/L2/L3/mem); Phi 2.9/22.9/295 ns (L1/L2/mem)",
+		Section: "memory",
+		Kind:    KindFigure,
+		Order:   5,
+		Run:     runFig5,
+	}, {
+		ID:      "fig6",
+		Title:   "Read/write memory bandwidth per core",
+		Paper:   "host R 12.6/12.3/11.6/7.5, W 10.4/9.5/8.6/7.2 GB/s; Phi R 1.68/0.97/0.50, W 1.54/0.96/0.26",
+		Section: "memory",
+		Kind:    KindFigure,
+		Order:   6,
+		Run:     runFig6,
+	}}
 }
 
 func runTable1(w io.Writer, env Env) error {

@@ -12,37 +12,49 @@ import (
 
 // Intra-device MPI function figures (10-14).
 
-func init() {
-	register(Experiment{
-		ID:    "fig10",
-		Title: "MPI_Send/Recv ring bandwidth on host and Phi",
-		Paper: "host(16) over Phi(1t/core) by 1.3-3.5x; over Phi(4t/core) by 24-54x",
-		Run:   runFig10,
-	})
-	register(Experiment{
-		ID:    "fig11",
-		Title: "MPI_Bcast on host and Phi",
-		Paper: "host over Phi0(1t/core) by 1.1-3.8x; more threads/core degrade sharply",
-		Run:   collectiveFig(simmpi.BcastKind),
-	})
-	register(Experiment{
-		ID:    "fig12",
-		Title: "MPI_Allreduce on host and Phi",
-		Paper: "host over Phi0 by 2.2-13.4x (1t/core), 28-104x (4t/core)",
-		Run:   collectiveFig(simmpi.AllreduceKind),
-	})
-	register(Experiment{
-		ID:    "fig13",
-		Title: "MPI_Allgather on host and Phi",
-		Paper: "abrupt jump at 2-4KB (algorithm switch); host over Phi by 2.6-17.1x / 68-1146x",
-		Run:   runFig13,
-	})
-	register(Experiment{
-		ID:    "fig14",
-		Title: "MPI_AlltoAll on host and Phi",
-		Paper: "4t/core runs only to 4KB (out of memory); host over Phi by 8-20x / 1003-2603x",
-		Run:   runFig14,
-	})
+// mpiExperiments lists the intra-device MPI function figures.
+func mpiExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "fig10",
+		Title:   "MPI_Send/Recv ring bandwidth on host and Phi",
+		Paper:   "host(16) over Phi(1t/core) by 1.3-3.5x; over Phi(4t/core) by 24-54x",
+		Section: "mpi",
+		Kind:    KindFigure,
+		Order:   10,
+		Run:     runFig10,
+	}, {
+		ID:      "fig11",
+		Title:   "MPI_Bcast on host and Phi",
+		Paper:   "host over Phi0(1t/core) by 1.1-3.8x; more threads/core degrade sharply",
+		Section: "mpi",
+		Kind:    KindFigure,
+		Order:   11,
+		Run:     collectiveFig(simmpi.BcastKind),
+	}, {
+		ID:      "fig12",
+		Title:   "MPI_Allreduce on host and Phi",
+		Paper:   "host over Phi0 by 2.2-13.4x (1t/core), 28-104x (4t/core)",
+		Section: "mpi",
+		Kind:    KindFigure,
+		Order:   12,
+		Run:     collectiveFig(simmpi.AllreduceKind),
+	}, {
+		ID:      "fig13",
+		Title:   "MPI_Allgather on host and Phi",
+		Paper:   "abrupt jump at 2-4KB (algorithm switch); host over Phi by 2.6-17.1x / 68-1146x",
+		Section: "mpi",
+		Kind:    KindFigure,
+		Order:   13,
+		Run:     runFig13,
+	}, {
+		ID:      "fig14",
+		Title:   "MPI_AlltoAll on host and Phi",
+		Paper:   "4t/core runs only to 4KB (out of memory); host over Phi by 8-20x / 1003-2603x",
+		Section: "mpi",
+		Kind:    KindFigure,
+		Order:   14,
+		Run:     runFig14,
+	}}
 }
 
 // phiRingConfigs are the paper's four threads-per-core settings.
@@ -58,14 +70,21 @@ func runFig10(w io.Writer, env Env) error {
 	t := textplot.NewTable("msg size", "host 16", "Phi 59(1t)", "Phi 118(2t)", "Phi 177(3t)", "Phi 236(4t)")
 	for _, m := range sizesUpTo(env, 1<<20) {
 		row := []interface{}{byteLabel(m)}
-		bw, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, m, iters)
+		bw, err := simmpi.RingBandwidth(simmpi.Config{
+			Ranks:      simmpi.HostPlacement(16, 1),
+			Tracer:     env.Tracer,
+			TraceLabel: fmt.Sprintf("ring:host16[%s]", byteLabel(m)),
+		}, m, iters)
 		if err != nil {
 			return err
 		}
 		row = append(row, gbs(bw))
 		for _, c := range phiRingConfigs {
-			bw, err := simmpi.RingBandwidth(
-				simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc)}, m, iters)
+			bw, err := simmpi.RingBandwidth(simmpi.Config{
+				Ranks:      simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc),
+				Tracer:     env.Tracer,
+				TraceLabel: fmt.Sprintf("ring:phi%dx%d[%s]", c.ranks, c.tpc, byteLabel(m)),
+			}, m, iters)
 			if err != nil {
 				return err
 			}
@@ -117,7 +136,11 @@ func runCollective(w io.Writer, env Env, kind simmpi.CollectiveKind, maxBytes in
 	t := textplot.NewTable(header...)
 	for _, m := range sizesUpTo(env, maxBytes) {
 		row := []interface{}{byteLabel(m)}
-		ht, err := simmpi.CollectiveTime(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, kind, m, iters)
+		ht, err := simmpi.CollectiveTime(simmpi.Config{
+			Ranks:      simmpi.HostPlacement(16, 1),
+			Tracer:     env.Tracer,
+			TraceLabel: fmt.Sprintf("host16[%s]", byteLabel(m)),
+		}, kind, m, iters)
 		if err != nil {
 			return err
 		}
@@ -127,8 +150,11 @@ func runCollective(w io.Writer, env Env, kind simmpi.CollectiveKind, maxBytes in
 				row = append(row, "OOM")
 				continue
 			}
-			pt, err := simmpi.CollectiveTime(
-				simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc)}, kind, m, iters)
+			pt, err := simmpi.CollectiveTime(simmpi.Config{
+				Ranks:      simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc),
+				Tracer:     env.Tracer,
+				TraceLabel: fmt.Sprintf("phi%dx%d[%s]", c.ranks, c.tpc, byteLabel(m)),
+			}, kind, m, iters)
 			if err != nil {
 				return err
 			}

@@ -7,48 +7,63 @@ import (
 
 	"maia/internal/machine"
 	"maia/internal/npb"
+	"maia/internal/offload"
 	"maia/internal/textplot"
 )
 
 // NPB figures (19, 20, 24, 25, 26, 27).
 
-func init() {
-	register(Experiment{
-		ID:    "fig19",
-		Title: "NPB OpenMP class C on host and Phi",
-		Paper: "host wins everything but MG; 3 threads/core usually best; BT best and CG worst on Phi",
-		Run:   runFig19,
-	})
-	register(Experiment{
-		ID:    "fig20",
-		Title: "NPB MPI class C on host and Phi",
-		Paper: "FT does not fit the Phi's 8 GB (needs ~10 GB); threads/core optimum varies per benchmark",
-		Run:   runFig20,
-	})
-	register(Experiment{
-		ID:    "fig24",
-		Title: "OpenMP loop collapse gain for MG on Phi",
-		Paper: "collapse gains 25-28% on Phi, loses ~1% on host(16t); 59/118/177/236 beat 60/120/180/240",
-		Run:   runFig24,
-	})
-	register(Experiment{
-		ID:    "fig25",
-		Title: "MG in native host, native Phi, and offload modes",
-		Paper: "host 23.5 GF (16t), HT 22.2 GF (32t), Phi 29.9 GF (177t); all offload variants far lower",
-		Run:   runFig25,
-	})
-	register(Experiment{
-		ID:    "fig26",
-		Title: "Overhead of the three MG offload versions",
-		Paper: "host setup+gather / PCIe transfer / Phi setup+scatter; loop version worst",
-		Run:   runFig26,
-	})
-	register(Experiment{
-		ID:    "fig27",
-		Title: "Offload invocations and data volume of the three MG versions",
-		Paper: "loop version: most invocations and data; whole-computation: least",
-		Run:   runFig27,
-	})
+// npbExperiments lists the NAS Parallel Benchmark figures.
+func npbExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "fig19",
+		Title:   "NPB OpenMP class C on host and Phi",
+		Paper:   "host wins everything but MG; 3 threads/core usually best; BT best and CG worst on Phi",
+		Section: "npb",
+		Kind:    KindFigure,
+		Order:   19,
+		Run:     runFig19,
+	}, {
+		ID:      "fig20",
+		Title:   "NPB MPI class C on host and Phi",
+		Paper:   "FT does not fit the Phi's 8 GB (needs ~10 GB); threads/core optimum varies per benchmark",
+		Section: "npb",
+		Kind:    KindFigure,
+		Order:   20,
+		Run:     runFig20,
+	}, {
+		ID:      "fig24",
+		Title:   "OpenMP loop collapse gain for MG on Phi",
+		Paper:   "collapse gains 25-28% on Phi, loses ~1% on host(16t); 59/118/177/236 beat 60/120/180/240",
+		Section: "npb",
+		Kind:    KindFigure,
+		Order:   24,
+		Run:     runFig24,
+	}, {
+		ID:      "fig25",
+		Title:   "MG in native host, native Phi, and offload modes",
+		Paper:   "host 23.5 GF (16t), HT 22.2 GF (32t), Phi 29.9 GF (177t); all offload variants far lower",
+		Section: "npb",
+		Kind:    KindFigure,
+		Order:   25,
+		Run:     runFig25,
+	}, {
+		ID:      "fig26",
+		Title:   "Overhead of the three MG offload versions",
+		Paper:   "host setup+gather / PCIe transfer / Phi setup+scatter; loop version worst",
+		Section: "npb",
+		Kind:    KindFigure,
+		Order:   26,
+		Run:     runFig26,
+	}, {
+		ID:      "fig27",
+		Title:   "Offload invocations and data volume of the three MG versions",
+		Paper:   "loop version: most invocations and data; whole-computation: least",
+		Section: "npb",
+		Kind:    KindFigure,
+		Order:   27,
+		Run:     runFig27,
+	}}
 }
 
 func runFig19(w io.Writer, env Env) error {
@@ -165,7 +180,8 @@ func runFig25(w io.Writer, env Env) error {
 		t.Row(fmt.Sprintf("native Phi (%dt)", th), fmt.Sprintf("%.1f", phi.Gflops))
 	}
 	for _, v := range npb.MGOffloadVariants() {
-		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v)
+		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v,
+			offload.WithTracer(env.Tracer, "offload:"+v.String()))
 		if err != nil {
 			return err
 		}
@@ -177,7 +193,8 @@ func runFig25(w io.Writer, env Env) error {
 func runFig26(w io.Writer, env Env) error {
 	t := textplot.NewTable("variant", "host side", "PCIe", "Phi side", "total overhead")
 	for _, v := range npb.MGOffloadVariants() {
-		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v)
+		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v,
+			offload.WithTracer(env.Tracer, "offload:"+v.String()))
 		if err != nil {
 			return err
 		}
@@ -189,7 +206,8 @@ func runFig26(w io.Writer, env Env) error {
 func runFig27(w io.Writer, env Env) error {
 	t := textplot.NewTable("variant", "invocations", "data in", "data out")
 	for _, v := range npb.MGOffloadVariants() {
-		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v)
+		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v,
+			offload.WithTracer(env.Tracer, "offload:"+v.String()))
 		if err != nil {
 			return err
 		}

@@ -9,34 +9,46 @@ import (
 	"maia/internal/pcie"
 	"maia/internal/simomp"
 	"maia/internal/textplot"
+	"maia/internal/vclock"
 )
 
 // OpenMP micro-benchmark figures (15, 16) and the I/O figure (17).
 
-func init() {
-	register(Experiment{
-		ID:    "fig15",
-		Title: "OpenMP synchronization overhead on host and Phi",
-		Paper: "Phi ~10x host for every construct; REDUCTION dearest, ATOMIC cheapest",
-		Run:   runFig15,
-	})
-	register(Experiment{
-		ID:    "fig16",
-		Title: "OpenMP scheduling overheads on host and Phi",
-		Paper: "STATIC < GUIDED < DYNAMIC; Phi ~10x host",
-		Run:   runFig16,
-	})
-	register(Experiment{
-		ID:    "fig17",
-		Title: "Sequential I/O bandwidth on host, Phi0, Phi1",
-		Paper: "host 210 W / 295 R MB/s; Phi ~80 W / 75 R MB/s (NFS over PCIe TCP/IP)",
-		Run:   runFig17,
-	})
+// ompExperiments lists the OpenMP micro-benchmark figures and the I/O
+// figure.
+func ompExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "fig15",
+		Title:   "OpenMP synchronization overhead on host and Phi",
+		Paper:   "Phi ~10x host for every construct; REDUCTION dearest, ATOMIC cheapest",
+		Section: "openmp",
+		Kind:    KindFigure,
+		Order:   15,
+		Run:     runFig15,
+	}, {
+		ID:      "fig16",
+		Title:   "OpenMP scheduling overheads on host and Phi",
+		Paper:   "STATIC < GUIDED < DYNAMIC; Phi ~10x host",
+		Section: "openmp",
+		Kind:    KindFigure,
+		Order:   16,
+		Run:     runFig16,
+	}, {
+		ID:      "fig17",
+		Title:   "Sequential I/O bandwidth on host, Phi0, Phi1",
+		Paper:   "host 210 W / 295 R MB/s; Phi ~80 W / 75 R MB/s (NFS over PCIe TCP/IP)",
+		Section: "io",
+		Kind:    KindFigure,
+		Order:   17,
+		Run:     runFig17,
+	}}
 }
 
 func runFig15(w io.Writer, env Env) error {
 	host := simomp.New(machine.HostPartition(env.Node, 1))
 	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
+	host.SetTracer(env.Tracer, "omp:host16")
+	phi.SetTracer(env.Tracer, "omp:phi236")
 	t := textplot.NewTable("construct", "host (16t) us", "Phi0 (236t) us", "ratio")
 	for _, c := range simomp.Constructs() {
 		h := simomp.MeasureSyncOverhead(host, c).Microseconds()
@@ -49,6 +61,8 @@ func runFig15(w io.Writer, env Env) error {
 func runFig16(w io.Writer, env Env) error {
 	host := simomp.New(machine.HostPartition(env.Node, 1))
 	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
+	host.SetTracer(env.Tracer, "omp:host16")
+	phi.SetTracer(env.Tracer, "omp:phi236")
 	chunks := []int{1, 2, 4, 8, 16, 32, 64, 128}
 	if env.Quick {
 		chunks = []int{1, 8, 64}
@@ -82,7 +96,23 @@ func runFig17(w io.Writer, env Env) error {
 		return err
 	}
 	stack := pcie.NewStack(pcie.PostUpdate)
-	_, err := fmt.Fprintf(w, "workaround (ship to host over SCIF, 4MB msgs): Phi0 write %.0f MB/s\n",
-		iosim.ShipToHostWriteMBs(stack, machine.Phi0, 4<<20))
-	return err
+	if _, err := fmt.Fprintf(w, "workaround (ship to host over SCIF, 4MB msgs): Phi0 write %.0f MB/s\n",
+		iosim.ShipToHostWriteMBs(stack, machine.Phi0, 4<<20)); err != nil {
+		return err
+	}
+	// When tracing, lay a representative 64 MB sequential write and read
+	// per device onto io-category tracks.
+	if env.Tracer != nil {
+		for _, dev := range []machine.Device{machine.Host, machine.Phi0, machine.Phi1} {
+			var at vclock.Time
+			for _, write := range []bool{true, false} {
+				d, err := iosim.TraceTransfer(env.Tracer, "io:"+dev.String(), dev, write, 64<<20, 1<<20, at)
+				if err != nil {
+					return err
+				}
+				at += d
+			}
+		}
+	}
+	return nil
 }

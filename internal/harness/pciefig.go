@@ -6,35 +6,46 @@ import (
 
 	"maia/internal/pcie"
 	"maia/internal/textplot"
+	"maia/internal/vclock"
 )
 
 // PCIe interconnect figures (7, 8, 9, 18).
 
-func init() {
-	register(Experiment{
-		ID:    "fig7",
-		Title: "MPI latency between host and Phi",
-		Paper: "pre: 3.3/4.6/6.3 us; post: 3.3/4.1/6.6 us (host-Phi0 / host-Phi1 / Phi0-Phi1)",
-		Run:   runFig7,
-	})
-	register(Experiment{
-		ID:    "fig8",
-		Title: "MPI bandwidth between host and Phi",
-		Paper: "4MB: pre 1.6 GB/s / 455 MB/s / 444 MB/s; post 6 / 6 / 0.899 GB/s; knees at 8KB and 256KB",
-		Run:   runFig8,
-	})
-	register(Experiment{
-		ID:    "fig9",
-		Title: "Post-update / pre-update MPI bandwidth gain",
-		Paper: "small msgs 1-1.5x; >=256KB: 2-3.8x (h-p0), 7-13x (h-p1), 1.8-2x (p0-p1)",
-		Run:   runFig9,
-	})
-	register(Experiment{
-		ID:    "fig18",
-		Title: "Offload-mode bandwidth between host and Phi",
-		Paper: "~6.4 GB/s for large transfers; Phi1 ~3% lower; dip at 64KB; framing eff 76%/86%",
-		Run:   runFig18,
-	})
+// pcieExperiments lists the PCIe/DAPL interconnect figures.
+func pcieExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "fig7",
+		Title:   "MPI latency between host and Phi",
+		Paper:   "pre: 3.3/4.6/6.3 us; post: 3.3/4.1/6.6 us (host-Phi0 / host-Phi1 / Phi0-Phi1)",
+		Section: "interconnect",
+		Kind:    KindFigure,
+		Order:   7,
+		Run:     runFig7,
+	}, {
+		ID:      "fig8",
+		Title:   "MPI bandwidth between host and Phi",
+		Paper:   "4MB: pre 1.6 GB/s / 455 MB/s / 444 MB/s; post 6 / 6 / 0.899 GB/s; knees at 8KB and 256KB",
+		Section: "interconnect",
+		Kind:    KindFigure,
+		Order:   8,
+		Run:     runFig8,
+	}, {
+		ID:      "fig9",
+		Title:   "Post-update / pre-update MPI bandwidth gain",
+		Paper:   "small msgs 1-1.5x; >=256KB: 2-3.8x (h-p0), 7-13x (h-p1), 1.8-2x (p0-p1)",
+		Section: "interconnect",
+		Kind:    KindFigure,
+		Order:   9,
+		Run:     runFig9,
+	}, {
+		ID:      "fig18",
+		Title:   "Offload-mode bandwidth between host and Phi",
+		Paper:   "~6.4 GB/s for large transfers; Phi1 ~3% lower; dip at 64KB; framing eff 76%/86%",
+		Section: "interconnect",
+		Kind:    KindFigure,
+		Order:   18,
+		Run:     runFig18,
+	}}
 }
 
 func runFig7(w io.Writer, env Env) error {
@@ -94,10 +105,13 @@ func runFig18(w io.Writer, env Env) error {
 		return err
 	}
 	t := textplot.NewTable("transfer size", "host-Phi0 GB/s", "host-Phi1 GB/s")
+	var at0, at1 vclock.Time
 	for _, m := range sizesUpTo(env, 64<<20) {
 		t.Row(byteLabel(m),
 			gbs(pcie.OffloadBandwidth(cfg, pcie.HostPhi0, m)),
 			gbs(pcie.OffloadBandwidth(cfg, pcie.HostPhi1, m)))
+		at0 += pcie.TraceOffloadTransfer(env.Tracer, "dma:host-Phi0", cfg, pcie.HostPhi0, m, at0)
+		at1 += pcie.TraceOffloadTransfer(env.Tracer, "dma:host-Phi1", cfg, pcie.HostPhi1, m, at1)
 	}
 	return t.Fprint(w)
 }

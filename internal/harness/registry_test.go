@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+func noopRun(w io.Writer, env Env) error { return nil }
+
+// exp builds a minimal experiment with the metadata Paper() would give
+// that ID, so ordering tests exercise the same fields.
+func exp(id string, kind Kind, order int) Experiment {
+	return Experiment{ID: id, Title: id, Paper: "none", Kind: kind, Order: order, Run: noopRun}
+}
+
+// Registry.All() order is a property of the registered set, not of
+// registration order: every permutation of registration yields the same
+// sequence — table1 first, figN numeric (fig9 before fig10), report,
+// then ext-* by full suffix (ext-alpha before ext-azure).
+func TestRegistryOrderProperty(t *testing.T) {
+	canonical := []Experiment{
+		exp("table1", KindTable, 1),
+		exp("fig4", KindFigure, 4),
+		exp("fig9", KindFigure, 9),
+		exp("fig10", KindFigure, 10),
+		exp("fig27", KindFigure, 27),
+		exp("report", KindReport, 0),
+		exp("ext-alpha", KindExtension, 0),
+		exp("ext-azure", KindExtension, 0),
+		exp("ext-checkpoint", KindExtension, 0),
+	}
+	wantIDs := make([]string, len(canonical))
+	for i, e := range canonical {
+		wantIDs[i] = e.ID
+	}
+
+	// Exhaustive permutations would be 9!; a deterministic family of
+	// rotations and stride shuffles covers every relative order of each
+	// pair while staying cheap.
+	perms := [][]Experiment{}
+	n := len(canonical)
+	for r := 0; r < n; r++ {
+		p := append(append([]Experiment{}, canonical[r:]...), canonical[:r]...)
+		perms = append(perms, p)
+	}
+	for _, stride := range []int{2, 4, 5, 7} {
+		var p []Experiment
+		for i := 0; i < n; i++ {
+			p = append(p, canonical[(i*stride)%n])
+		}
+		if len(uniqueIDs(p)) == n {
+			perms = append(perms, p)
+		}
+	}
+
+	for pi, perm := range perms {
+		r := NewRegistry()
+		for _, e := range perm {
+			if err := r.Register(e); err != nil {
+				t.Fatalf("perm %d: %v", pi, err)
+			}
+		}
+		all := r.All()
+		for i, e := range all {
+			if e.ID != wantIDs[i] {
+				t.Fatalf("perm %d: position %d is %s, want %s (full order %v)",
+					pi, i, e.ID, wantIDs[i], uniqueIDs(all))
+			}
+		}
+		// All() is stable across repeated calls on the same registry.
+		again := r.All()
+		for i := range again {
+			if again[i].ID != all[i].ID {
+				t.Fatalf("perm %d: All() not stable at %d", pi, i)
+			}
+		}
+	}
+}
+
+func uniqueIDs(exps []Experiment) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range exps {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// The real suite observes the same ordering contract.
+func TestPaperOrdered(t *testing.T) {
+	all := Paper().All()
+	if all[0].ID != "table1" {
+		t.Fatalf("first experiment is %s, want table1", all[0].ID)
+	}
+	prevKind, prevOrder, prevID := all[0].Kind, all[0].Order, all[0].ID
+	for _, e := range all[1:] {
+		if e.Kind < prevKind {
+			t.Fatalf("kind order broken at %s", e.ID)
+		}
+		if e.Kind == prevKind {
+			if e.Order < prevOrder || (e.Order == prevOrder && e.ID <= prevID) {
+				t.Fatalf("experiments out of order at %s", e.ID)
+			}
+		}
+		prevKind, prevOrder, prevID = e.Kind, e.Order, e.ID
+	}
+	if last := all[len(all)-1].ID; len(last) < 4 || last[:4] != "ext-" {
+		t.Fatalf("extensions must sort last, got %s", last)
+	}
+}
+
+// Registration rejects duplicates, empty IDs, and missing Run funcs —
+// as errors, not import-time panics.
+func TestRegisterRejects(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(exp("fig4", KindFigure, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(exp("fig4", KindFigure, 4)); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := r.Register(exp("", KindFigure, 4)); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := r.Register(Experiment{ID: "x", Title: "x"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if r.Len() != 1 {
+		t.Errorf("failed registrations mutated the registry (len %d)", r.Len())
+	}
+}

@@ -22,13 +22,16 @@ import (
 // from this simulation, and a PASS/FAIL verdict on the shape. This is
 // EXPERIMENTS.md as an executable.
 
-func init() {
-	register(Experiment{
-		ID:    "report",
-		Title: "Reproduction report card — every headline claim, checked",
-		Paper: "the paper's qualitative findings, § by §",
-		Run:   runReport,
-	})
+// reportExperiments lists the executable report card.
+func reportExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "report",
+		Title:   "Reproduction report card — every headline claim, checked",
+		Paper:   "the paper's qualitative findings, § by §",
+		Section: "summary",
+		Kind:    KindReport,
+		Run:     runReport,
+	}}
 }
 
 // check is one report-card row.

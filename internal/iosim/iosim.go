@@ -16,6 +16,7 @@ import (
 
 	"maia/internal/machine"
 	"maia/internal/pcie"
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -82,6 +83,25 @@ func TransferTime(dev machine.Device, write bool, totalBytes int64, blockBytes i
 	blocks := (totalBytes + int64(blockBytes) - 1) / int64(blockBytes)
 	t := vclock.Time(blocks) * p.perOp
 	t += vclock.Time(float64(totalBytes) / (mbs * 1e6))
+	return t, nil
+}
+
+// TraceTransfer prices a sequential read or write like TransferTime
+// and, when tr is non-nil, records it as an io-category span starting
+// at `at` on the given track, named "write:<dev>" or "read:<dev>". It
+// returns the transfer time, so callers can thread a running clock.
+func TraceTransfer(tr *simtrace.Tracer, track string, dev machine.Device, write bool, totalBytes int64, blockBytes int, at vclock.Time) (vclock.Time, error) {
+	t, err := TransferTime(dev, write, totalBytes, blockBytes)
+	if err != nil {
+		return 0, err
+	}
+	if tr != nil {
+		name := "read:" + dev.String()
+		if write {
+			name = "write:" + dev.String()
+		}
+		tr.Span(track, simtrace.CatIO, name, at, at+t, totalBytes)
+	}
 	return t, nil
 }
 

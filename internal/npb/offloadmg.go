@@ -58,8 +58,10 @@ type MGOffloadResult struct {
 }
 
 // MGOffload prices offload-mode MG at class c, offloading to a
-// 177-thread Phi0 partition (the native-mode sweet spot).
-func MGOffload(m core.Model, c Class, node *machine.Node, variant MGOffloadVariant) (MGOffloadResult, error) {
+// 177-thread Phi0 partition (the native-mode sweet spot). Engine
+// options (e.g. offload.WithTracer) apply to the engine driving the
+// offloads.
+func MGOffload(m core.Model, c Class, node *machine.Node, variant MGOffloadVariant, opts ...offload.EngineOption) (MGOffloadResult, error) {
 	s, err := SizeOf(MG, c)
 	if err != nil {
 		return MGOffloadResult{}, err
@@ -104,7 +106,7 @@ func MGOffload(m core.Model, c Class, node *machine.Node, variant MGOffloadVaria
 		return MGOffloadResult{}, fmt.Errorf("npb: unknown offload variant %d", int(variant))
 	}
 
-	eng := offload.NewEngine(offload.DefaultConfig())
+	eng := offload.NewEngine(offload.DefaultConfig(), opts...)
 	var total vclock.Time
 	cycles := int64(s.Iters)
 	if p.oneShot {
@@ -134,8 +136,10 @@ func MGOffload(m core.Model, c Class, node *machine.Node, variant MGOffloadVaria
 // MGOffloadPipelined is the mitigation the paper's conclusions point
 // toward: the subroutine-granularity offload with its transfers
 // double-buffered against kernel execution (signal/wait offload
-// clauses). Same data, same invocations, overlapped schedule.
-func MGOffloadPipelined(m core.Model, c Class, node *machine.Node) (MGOffloadResult, error) {
+// clauses). Same data, same invocations, overlapped schedule. Engine
+// options (e.g. offload.WithTracer) apply to the engine driving the
+// offloads.
+func MGOffloadPipelined(m core.Model, c Class, node *machine.Node, opts ...offload.EngineOption) (MGOffloadResult, error) {
 	s, err := SizeOf(MG, c)
 	if err != nil {
 		return MGOffloadResult{}, err
@@ -150,7 +154,7 @@ func MGOffloadPipelined(m core.Model, c Class, node *machine.Node) (MGOffloadRes
 
 	gridBytes := int64(8 * s.Points())
 	chunks := 2 * s.Iters // the subroutine variant's invocation count
-	eng := offload.NewEngine(offload.DefaultConfig())
+	eng := offload.NewEngine(offload.DefaultConfig(), opts...)
 	total, err := eng.OffloadPipelined(chunks, 2*gridBytes, gridBytes,
 		kernelTotal/vclock.Time(chunks), nil)
 	if err != nil {

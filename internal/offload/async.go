@@ -3,6 +3,7 @@ package offload
 import (
 	"fmt"
 
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -43,6 +44,7 @@ func (e *Engine) OffloadPipelined(chunks int, inBytes, outBytes int64,
 	outT := e.transferTime(outBytes) +
 		vclock.Time(float64(outBytes)/(e.cfg.HostCopyGBs*1e9))
 
+	base := e.clock.Now()
 	var inDone, kernelDone, outDone vclock.Time
 	for k := 0; k < chunks; k++ {
 		if body != nil {
@@ -54,6 +56,18 @@ func (e *Engine) OffloadPipelined(chunks int, inBytes, outBytes int64,
 		outStart := vclock.Max(kernelDone, outDone)
 		outDone = outStart + outT
 
+		if e.tracer != nil {
+			// The three pipeline stages overlap, so each gets its own
+			// sub-track; span times are absolute on the engine timeline.
+			e.tracer.Span(e.track+"/h2d", simtrace.CatPCIe, "dma:h2d",
+				base+inDone-inT, base+inDone, inBytes)
+			e.tracer.Span(e.track+"/kernel", simtrace.CatCompute, "kernel",
+				base+start, base+kernelDone, 0)
+			e.tracer.Span(e.track+"/d2h", simtrace.CatPCIe, "dma:d2h",
+				base+outStart, base+outDone, outBytes)
+			e.traceCounts(inBytes, outBytes)
+		}
+
 		e.report.Invocations++
 		e.report.BytesIn += inBytes
 		e.report.BytesOut += outBytes
@@ -62,6 +76,9 @@ func (e *Engine) OffloadPipelined(chunks int, inBytes, outBytes int64,
 		e.report.TransferTime += e.transferTime(inBytes) + e.transferTime(outBytes)
 		e.report.PhiTime += phiSide
 		e.report.KernelTime += kernelTime
+	}
+	if e.tracer != nil {
+		e.clock.AdvanceTo(base + outDone)
 	}
 	return outDone, nil
 }

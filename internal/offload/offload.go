@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"maia/internal/pcie"
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -85,10 +86,57 @@ func (r Report) String() string {
 type Engine struct {
 	cfg    Config
 	report Report
+
+	// Tracing state: tracer is nil when tracing is off; clock is the
+	// engine's trace timeline, advanced by each traced invocation.
+	tracer *simtrace.Tracer
+	track  string
+	clock  vclock.Clock
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithTracer returns an option attaching a tracer (and the track name
+// its spans appear under) to the engine. A nil tracer leaves tracing
+// off.
+func WithTracer(t *simtrace.Tracer, track string) EngineOption {
+	return func(e *Engine) { e.SetTracer(t, track) }
 }
 
 // NewEngine returns an engine with the given configuration.
-func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg} }
+func NewEngine(cfg Config, opts ...EngineOption) *Engine {
+	e := &Engine{cfg: cfg}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// SetTracer attaches a tracer to the engine: each offload invocation
+// emits its stage spans (marshal, DMA each way, scatter, kernel) on the
+// given track. A nil tracer turns tracing off.
+func (e *Engine) SetTracer(t *simtrace.Tracer, track string) {
+	e.tracer = t
+	e.track = track
+}
+
+// traceStage lays one stage of a synchronous offload onto the engine's
+// trace timeline. Callers must have checked e.tracer != nil.
+func (e *Engine) traceStage(name string, cat simtrace.Category, d vclock.Time, bytes int64) {
+	t0 := e.clock.Now()
+	if d > 0 {
+		e.clock.Advance(d)
+	}
+	e.tracer.Span(e.track, cat, name, t0, e.clock.Now(), bytes)
+}
+
+// traceCounts bumps the per-invocation offload counters.
+func (e *Engine) traceCounts(inBytes, outBytes int64) {
+	e.tracer.Count(simtrace.CatOffload, "invocations", 1)
+	e.tracer.Count(simtrace.CatOffload, "bytes_in", inBytes)
+	e.tracer.Count(simtrace.CatOffload, "bytes_out", outBytes)
+}
 
 // Report returns the cumulative ledger.
 func (e *Engine) Report() Report { return e.report }
@@ -115,12 +163,21 @@ func (e *Engine) Offload(inBytes, outBytes int64, kernelTime vclock.Time, body f
 	bytes := inBytes + outBytes
 	host := e.cfg.HostSetup + vclock.Time(float64(bytes)/(e.cfg.HostCopyGBs*1e9))
 	phi := e.cfg.PhiSetup + vclock.Time(float64(bytes)/(e.cfg.PhiCopyGBs*1e9))
-	var transfer vclock.Time
-	if inBytes > 0 {
-		transfer += pcieTransfer(e.cfg, int(inBytes))
-	}
-	if outBytes > 0 {
-		transfer += pcieTransfer(e.cfg, int(outBytes))
+	inT := e.transferTime(inBytes)
+	outT := e.transferTime(outBytes)
+	transfer := inT + outT
+
+	if e.tracer != nil {
+		e.traceStage("marshal:host", simtrace.CatOffload, host, bytes)
+		if inBytes > 0 {
+			e.traceStage("dma:h2d", simtrace.CatPCIe, inT, inBytes)
+		}
+		e.traceStage("scatter:phi", simtrace.CatOffload, phi, bytes)
+		e.traceStage("kernel", simtrace.CatCompute, kernelTime, 0)
+		if outBytes > 0 {
+			e.traceStage("dma:d2h", simtrace.CatPCIe, outT, outBytes)
+		}
+		e.traceCounts(inBytes, outBytes)
 	}
 
 	e.report.Invocations++

@@ -1,6 +1,9 @@
 package pcie
 
-import "maia/internal/vclock"
+import (
+	"maia/internal/simtrace"
+	"maia/internal/vclock"
+)
 
 // Figure 18 models the offload-mode DMA path, which bypasses the MPI/DAPL
 // stack entirely: the offload runtime pins buffers and drives PCIe DMA
@@ -77,4 +80,16 @@ func OffloadBandwidth(c DMAConfig, p Path, bytes int) float64 {
 		return 0
 	}
 	return float64(bytes) / OffloadTransferTime(c, p, bytes).Seconds() / 1e9
+}
+
+// TraceOffloadTransfer prices one offload DMA transfer and, when tr is
+// non-nil, records it as a pcie-category span starting at `at` on the
+// given track (named "dma:<path>"). It returns the transfer time, so
+// callers can thread a running clock: at += TraceOffloadTransfer(...).
+func TraceOffloadTransfer(tr *simtrace.Tracer, track string, c DMAConfig, p Path, bytes int, at vclock.Time) vclock.Time {
+	t := OffloadTransferTime(c, p, bytes)
+	if tr != nil {
+		tr.Span(track, simtrace.CatPCIe, "dma:"+p.String(), at, at+t, int64(bytes))
+	}
+	return t
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"maia/internal/simtrace"
 )
 
 // Reserved internal tags (user tags are non-negative).
@@ -53,6 +55,7 @@ func OpMin(dst, src []float64) {
 // ceil(log2 n) rounds of zero-byte exchanges.
 func (r *Rank) barrierImpl() {
 	n := r.w.size
+	r.setAlgo("dissemination")
 	if n == 1 {
 		return
 	}
@@ -80,8 +83,10 @@ func (r *Rank) bcastImpl(root int, data []byte) []byte {
 		return data
 	}
 	if len(data) > r.w.cfg.BcastLongBytes && n > 2 {
+		r.setAlgo("vandegeijn")
 		return r.bcastVanDeGeijn(root, data, len(data))
 	}
+	r.setAlgo("binomial")
 	return r.bcastBinomial(root, data)
 }
 
@@ -136,6 +141,7 @@ func (r *Rank) reduceImpl(root int, vec []float64, op Op) []float64 {
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("simmpi: Reduce root %d out of range", root))
 	}
+	r.setAlgo("binomial")
 	acc := append([]float64(nil), vec...)
 	rel := (r.id - root + n) % n
 	mask := 1
@@ -173,6 +179,7 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 		return append([]float64(nil), vec...)
 	}
 	if n&(n-1) == 0 {
+		r.setAlgo("rd")
 		acc := append([]float64(nil), vec...)
 		for mask := 1; mask < n; mask <<= 1 {
 			partner := r.id ^ mask
@@ -192,6 +199,7 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 		}
 		return acc
 	}
+	r.setAlgo("reduce+bcast")
 	res := r.Reduce(0, vec, op)
 	buf := make([]byte, 8*len(vec))
 	if r.id == 0 {
@@ -215,6 +223,7 @@ func (r *Rank) allgatherImpl(block []byte) []byte {
 	}
 	pow2 := n&(n-1) == 0
 	if pow2 && m <= r.w.cfg.AllgatherSwitchBytes {
+		r.setAlgo("rd")
 		// Recursive doubling: before round k (mask = 2^k) each rank
 		// holds the contiguous mask-block run of its group; the round
 		// swaps whole runs between partner groups.
@@ -229,6 +238,7 @@ func (r *Rank) allgatherImpl(block []byte) []byte {
 		return out
 	}
 	// Ring: n-1 steps; at each step pass the block received previously.
+	r.setAlgo("ring")
 	right := (r.id + 1) % n
 	left := (r.id - 1 + n) % n
 	cur := r.id
@@ -250,6 +260,7 @@ func (r *Rank) alltoallImpl(data []byte, blockBytes int) []byte {
 	if len(data) != n*blockBytes {
 		panic(fmt.Sprintf("simmpi: Alltoall buffer %d bytes, want %d", len(data), n*blockBytes))
 	}
+	r.setAlgo("pairwise")
 	out := make([]byte, n*blockBytes)
 	copy(out[r.id*blockBytes:], data[r.id*blockBytes:(r.id+1)*blockBytes])
 	for step := 1; step < n; step++ {
@@ -269,6 +280,7 @@ func (r *Rank) gatherImpl(root int, block []byte) []byte {
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("simmpi: Gather root %d out of range", root))
 	}
+	r.setAlgo("linear")
 	if r.id != root {
 		r.send(root, tagGather, block)
 		return nil
@@ -293,6 +305,7 @@ func (r *Rank) scatterImpl(root int, data []byte, blockBytes int) []byte {
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("simmpi: Scatter root %d out of range", root))
 	}
+	r.setAlgo("linear")
 	if r.id == root {
 		if len(data) != n*blockBytes {
 			panic(fmt.Sprintf("simmpi: Scatter buffer %d bytes, want %d", len(data), n*blockBytes))
@@ -342,6 +355,7 @@ func bytesToF64(b []byte) []float64 {
 // Barrier synchronizes all ranks (dissemination algorithm).
 func (r *Rank) Barrier() {
 	r.collective("MPI_Barrier", 0, func() { r.barrierImpl() })
+	r.tracer.Count(simtrace.CatMPI, "barriers", 1)
 }
 
 // Bcast broadcasts root's buffer; see bcastImpl for algorithm selection.

@@ -3,6 +3,7 @@ package simmpi
 import (
 	"fmt"
 
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -49,6 +50,7 @@ func (req *Request) Wait() []byte {
 	req.data = req.rank.recvAt(req.src, req.tag, req.post)
 	if !req.rank.inColl {
 		req.rank.record("MPI_Wait", int64(len(req.data)), req.rank.clock.Now()-t0)
+		req.rank.traceOp("MPI_Wait", int64(len(req.data)), t0)
 	}
 	req.done = true
 	return req.data
@@ -94,12 +96,14 @@ func (r *Rank) recvAt(src, tag int, post vclock.Time) []byte {
 	box.mu.Unlock()
 
 	_, flight, rendezvous := w.transferCost(src, r.id, len(msg.data))
-	var done vclock.Time
+	start := msg.sendTime
 	if rendezvous {
-		done = vclock.Max(msg.sendTime, post) + flight
-	} else {
-		done = msg.sendTime + flight
+		start = vclock.Max(msg.sendTime, post)
 	}
+	done := start + flight
 	r.clock.AdvanceTo(done)
+	if r.tracer != nil {
+		r.tracer.Span(r.track, simtrace.CatPCIe, w.fabricName(src, r.id), start, done, int64(len(msg.data)))
+	}
 	return msg.data
 }

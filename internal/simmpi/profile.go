@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -51,6 +52,25 @@ func (r *Rank) record(op string, bytes int64, dt vclock.Time) {
 	r.prof.MPI[op] = s
 }
 
+// traceOp emits the mpi-category span of one completed MPI operation
+// when tracing is on; a no-op (and allocation-free) otherwise.
+func (r *Rank) traceOp(op string, bytes int64, t0 vclock.Time) {
+	if r.tracer == nil {
+		return
+	}
+	r.tracer.Span(r.track, simtrace.CatMPI, op, t0, r.clock.Now(), bytes)
+}
+
+// setAlgo notes the algorithm the outermost running collective chose
+// ("rd", "ring", "binomial", ...); its span is named "op[algo]". Nested
+// collectives (e.g. the Bcast inside a non-power-of-two Allreduce) do
+// not overwrite the outer choice.
+func (r *Rank) setAlgo(algo string) {
+	if r.tracer != nil && r.collAlgo == "" {
+		r.collAlgo = algo
+	}
+}
+
 // collective wraps a collective implementation so its internal
 // point-to-point traffic is attributed to the collective, not to
 // MPI_Send/MPI_Recv.
@@ -60,10 +80,18 @@ func (r *Rank) collective(name string, bytes int64, body func()) {
 		return
 	}
 	r.inColl = true
+	r.collAlgo = ""
 	t0 := r.clock.Now()
 	body()
 	r.inColl = false
 	r.record(name, bytes, r.clock.Now()-t0)
+	if r.tracer != nil {
+		span := name
+		if r.collAlgo != "" {
+			span += "[" + r.collAlgo + "]"
+		}
+		r.traceOp(span, bytes, t0)
+	}
 }
 
 // Profiles returns every rank's profile after Run.

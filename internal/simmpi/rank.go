@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maia/internal/machine"
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -20,6 +21,14 @@ type Rank struct {
 	// Profiling state (see profile.go).
 	prof   RankProfile
 	inColl bool
+
+	// Tracing state: tracer is nil when tracing is off (every hook is
+	// then a no-op); track is the precomputed tracer track name;
+	// collAlgo is the algorithm chosen by the outermost running
+	// collective, used to suffix its span name.
+	tracer   *simtrace.Tracer
+	track    string
+	collAlgo string
 }
 
 // ID returns the rank number in [0, Size).
@@ -39,8 +48,12 @@ func (r *Rank) Now() vclock.Time { return r.clock.Now() }
 
 // Compute charges local computation time to the rank's clock.
 func (r *Rank) Compute(t vclock.Time) {
+	t0 := r.clock.Now()
 	r.clock.Advance(t)
 	r.prof.Compute += t
+	if r.tracer != nil {
+		r.tracer.Span(r.track, simtrace.CatCompute, "compute", t0, r.clock.Now(), 0)
+	}
 }
 
 // Send posts a message to rank dst. It is buffered: the call charges only
@@ -66,11 +79,17 @@ func (r *Rank) send(dst, tag int, data []byte) {
 	if !r.inColl {
 		defer func(t0 vclock.Time) {
 			r.record("MPI_Send", int64(len(data)), r.clock.Now()-t0)
+			r.traceOp("MPI_Send", int64(len(data)), t0)
 		}(r.clock.Now())
 	}
 	tsPost := r.clock.Now()
 	sendSide, _, _ := r.w.transferCost(r.id, dst, len(data))
 	r.clock.Advance(sendSide)
+	if r.tracer != nil {
+		r.tracer.Span(r.track, simtrace.CatCompute, "inject", tsPost, r.clock.Now(), int64(len(data)))
+		r.tracer.Count(simtrace.CatMPI, "messages", 1)
+		r.tracer.Count(simtrace.CatMPI, "bytes", int64(len(data)))
+	}
 
 	buf := make([]byte, len(data))
 	copy(buf, data)
@@ -97,6 +116,7 @@ func (r *Rank) recv(src, tag int) []byte {
 	data := r.recvAt(src, tag, t0)
 	if !r.inColl {
 		r.record("MPI_Recv", int64(len(data)), r.clock.Now()-t0)
+		r.traceOp("MPI_Recv", int64(len(data)), t0)
 	}
 	return data
 }

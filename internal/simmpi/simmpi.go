@@ -27,6 +27,7 @@ import (
 
 	"maia/internal/machine"
 	"maia/internal/pcie"
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -61,6 +62,15 @@ type Config struct {
 	// from the binomial tree to van de Geijn scatter+allgather. Zero
 	// selects the 512 KB default.
 	BcastLongBytes int
+	// Tracer, when non-nil, records a virtual-time span per MPI
+	// operation (named with the algorithm actually chosen, e.g.
+	// "MPI_Allgather[ring]"), per transport flight (category "pcie",
+	// named by fabric), and per sender-side injection, plus
+	// message/byte/barrier counters. Nil disables tracing at zero cost.
+	Tracer *simtrace.Tracer
+	// TraceLabel prefixes the per-rank track names ("label/rank3"), so
+	// several worlds can share one tracer without track collisions.
+	TraceLabel string
 }
 
 // HostPlacement places n ranks on the host at the given threads per core.
@@ -147,6 +157,10 @@ type World struct {
 
 	finalClocks []vclock.Time
 	profiles    []RankProfile
+
+	// tracks holds the precomputed per-rank tracer track names; nil
+	// when tracing is off.
+	tracks []string
 }
 
 // NewWorld validates cfg and builds a world.
@@ -181,6 +195,16 @@ func NewWorld(cfg Config) (*World, error) {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
+	if cfg.Tracer != nil {
+		w.tracks = make([]string, w.size)
+		for i := range w.tracks {
+			if cfg.TraceLabel != "" {
+				w.tracks[i] = fmt.Sprintf("%s/rank%d", cfg.TraceLabel, i)
+			} else {
+				w.tracks[i] = fmt.Sprintf("rank%d", i)
+			}
+		}
+	}
 	return w, nil
 }
 
@@ -198,7 +222,10 @@ func (w *World) Run(body func(r *Rank)) (err error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			r := &Rank{id: id, w: w}
+			r := &Rank{id: id, w: w, tracer: w.cfg.Tracer}
+			if w.tracks != nil {
+				r.track = w.tracks[id]
+			}
 			r.prof.Rank = id
 			defer func() {
 				if p := recover(); p != nil {
@@ -244,6 +271,24 @@ func (w *World) MaxTime() vclock.Time {
 
 // RankTime returns the final virtual clock of one rank after Run.
 func (w *World) RankTime(id int) vclock.Time { return w.finalClocks[id] }
+
+// fabricName names the transport a message from rank a to rank b rides,
+// for flight spans: the span category is always "pcie" (the interconnect
+// layer); the name identifies the actual fabric.
+func (w *World) fabricName(a, b int) string {
+	la, lb := w.cfg.Ranks[a], w.cfg.Ranks[b]
+	switch {
+	case la.Node != lb.Node:
+		return "ib:fdr"
+	case la.Device == lb.Device:
+		if la.Device.IsPhi() {
+			return "shm:phi"
+		}
+		return "shm:host"
+	default:
+		return "pcie:" + pciePath(la.Device, lb.Device).String()
+	}
+}
 
 // transferCost returns (sendSideCost, flightTime, rendezvous) for a
 // message of n bytes from rank a to rank b.

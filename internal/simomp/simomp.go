@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"maia/internal/machine"
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -174,6 +175,13 @@ var phiTable = overheadTable{
 type Runtime struct {
 	part  machine.Partition
 	table overheadTable
+
+	// Tracing state: tracer is nil when tracing is off; clock is the
+	// runtime's trace timeline, advanced by each traced construct so
+	// spans lay out sequentially on the track.
+	tracer *simtrace.Tracer
+	track  string
+	clock  vclock.Clock
 }
 
 // New returns the runtime for a partition.
@@ -187,6 +195,31 @@ func New(part machine.Partition) *Runtime {
 
 // Partition returns the partition the runtime executes on.
 func (r *Runtime) Partition() machine.Partition { return r.part }
+
+// SetTracer attaches a tracer to the runtime: subsequent team constructs
+// emit omp-category spans on the given track, laid out back-to-back on
+// the runtime's own trace timeline. A nil tracer turns tracing off.
+func (r *Runtime) SetTracer(t *simtrace.Tracer, track string) {
+	r.tracer = t
+	r.track = track
+}
+
+// trace lays the construct just charged onto the runtime's trace
+// timeline; a no-op when tracing is off. chunks, when positive, bumps
+// the omp/chunks dispatch counter.
+func (r *Runtime) trace(name string, elapsed vclock.Time, chunks int) {
+	if r.tracer == nil {
+		return
+	}
+	t0 := r.clock.Now()
+	if elapsed > 0 {
+		r.clock.Advance(elapsed)
+	}
+	r.tracer.Span(r.track, simtrace.CatOMP, name, t0, r.clock.Now(), 0)
+	if chunks > 0 {
+		r.tracer.Count(simtrace.CatOMP, "chunks", int64(chunks))
+	}
+}
 
 // threadScale maps an overhead calibrated at refThreads to the runtime's
 // actual thread count. Fork/join and barrier-family constructs grow

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
 
@@ -196,6 +197,7 @@ func (t *Team) For(n int, o ForOpts, body func(i int)) vclock.Time {
 	if !o.NoWait {
 		elapsed += t.rt.SyncOverhead(Barrier)
 	}
+	t.rt.trace("for["+schedName(o.Sched)+"]", elapsed, countChunks(perThread))
 	return elapsed
 }
 
@@ -203,7 +205,9 @@ func (t *Team) For(n int, o ForOpts, body func(i int)) vclock.Time {
 func (t *Team) ParallelFor(n int, o ForOpts, body func(i int)) vclock.Time {
 	perThread, span := t.schedule(n, o)
 	t.run(perThread, body)
-	return span + t.rt.SyncOverhead(ParallelFor)
+	elapsed := span + t.rt.SyncOverhead(ParallelFor)
+	t.rt.trace("parallel_for["+schedName(o.Sched)+"]", elapsed, countChunks(perThread))
+	return elapsed
 }
 
 // Parallel runs a bare parallel region: body(tid) executes once per
@@ -231,7 +235,9 @@ func (t *Team) Parallel(body func(tid int), perThreadCost func(tid int) vclock.T
 			}
 		}
 	}
-	return span + t.rt.SyncOverhead(Parallel)
+	elapsed := span + t.rt.SyncOverhead(Parallel)
+	t.rt.trace("parallel", elapsed, 0)
+	return elapsed
 }
 
 // ForReduceSum runs a reduction loop (`parallel for reduction(+:sum)`),
@@ -269,11 +275,20 @@ func (t *Team) ForReduceSum(n int, o ForOpts, body func(i int) float64) (float64
 	for _, p := range partials {
 		sum += p
 	}
-	return sum, span + t.rt.SyncOverhead(Reduction)
+	elapsed := span + t.rt.SyncOverhead(Reduction)
+	t.rt.trace("reduction["+schedName(o.Sched)+"]", elapsed, countChunks(perThread))
+	return sum, elapsed
 }
 
 // BarrierWait charges one explicit barrier.
-func (t *Team) BarrierWait() vclock.Time { return t.rt.SyncOverhead(Barrier) }
+func (t *Team) BarrierWait() vclock.Time {
+	elapsed := t.rt.SyncOverhead(Barrier)
+	if t.rt.tracer != nil {
+		t.rt.trace("barrier", elapsed, 0)
+		t.rt.tracer.Count(simtrace.CatOMP, "barriers", 1)
+	}
+	return elapsed
+}
 
 // SingleRegion executes body on one thread (`#pragma omp single`) and
 // charges the SINGLE overhead plus the body's cost.
@@ -281,5 +296,28 @@ func (t *Team) SingleRegion(body func(), cost vclock.Time) vclock.Time {
 	if body != nil {
 		body()
 	}
-	return cost + t.rt.SyncOverhead(Single)
+	elapsed := cost + t.rt.SyncOverhead(Single)
+	t.rt.trace("single", elapsed, 0)
+	return elapsed
+}
+
+// schedName is the lower-case schedule tag in traced span names.
+func schedName(s Schedule) string {
+	switch s {
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "static"
+	}
+}
+
+// countChunks totals the dispatched chunks across a schedule.
+func countChunks(perThread [][]chunk) int {
+	n := 0
+	for _, cs := range perThread {
+		n += len(cs)
+	}
+	return n
 }

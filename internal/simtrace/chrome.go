@@ -1,0 +1,86 @@
+// Chrome trace_event export: the JSON Object Format understood by
+// Perfetto (ui.perfetto.dev) and chrome://tracing.
+package simtrace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the trace_event "traceEvents" array.
+// Complete spans use ph "X" with ts/dur in microseconds; metadata
+// events (ph "M") name processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the trace as Chrome trace_event JSON, loadable in
+// Perfetto. Processes (pids) are the sorted distinct Proc names, tracks
+// (tids) the sorted distinct track names within each process; spans are
+// emitted in canonical order, so the output is byte-deterministic for a
+// given set of recorded spans regardless of recording or merge order.
+// Timestamps are virtual microseconds.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+
+	// Assign pids to processes and tids to tracks in sorted first-seen
+	// order (Spans is already sorted by Proc then Track).
+	pids := map[string]int{}
+	type trackKey struct {
+		proc, track string
+	}
+	tids := map[trackKey]int{}
+	var events []chromeEvent
+	for _, s := range spans {
+		pid, ok := pids[s.Proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[s.Proc] = pid
+			name := s.Proc
+			if name == "" {
+				name = "trace"
+			}
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		tk := trackKey{s.Proc, s.Track}
+		tid, ok := tids[tk]
+		if !ok {
+			tid = len(tids) + 1
+			tids[tk] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": s.Track},
+			})
+		}
+		dur := s.Dur().Microseconds()
+		ev := chromeEvent{
+			Name: s.Name, Cat: string(s.Cat), Ph: "X",
+			Ts: s.Start.Microseconds(), Dur: &dur, Pid: pid, Tid: tid,
+		}
+		if s.Bytes > 0 {
+			ev.Args = map[string]any{"bytes": s.Bytes}
+		}
+		events = append(events, ev)
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

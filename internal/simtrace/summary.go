@@ -1,0 +1,109 @@
+// Plain-text per-category summary of a trace: where the virtual time
+// and bytes went, plus the monotonic counters.
+package simtrace
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/vclock"
+)
+
+// CategorySummary aggregates all spans of one category.
+type CategorySummary struct {
+	// Cat is the category summarized.
+	Cat Category
+	// Spans is how many spans carried the category.
+	Spans int
+	// Time is the sum of the spans' virtual durations. Spans on
+	// different tracks overlap in virtual time, so this is aggregate
+	// agent-time (like CPU-seconds), not elapsed time.
+	Time vclock.Time
+	// Bytes is the sum of the spans' payloads.
+	Bytes int64
+}
+
+// TraceSummary is the per-category rollup of a whole trace.
+type TraceSummary struct {
+	// Categories holds one row per category that recorded any span,
+	// in the fixed vocabulary display order.
+	Categories []CategorySummary
+	// Counters are the accumulated counters, sorted by (Cat, Name).
+	Counters []CounterValue
+	// Spans is the total span count.
+	Spans int
+	// Horizon is the latest span end: the virtual-time extent of
+	// the trace.
+	Horizon vclock.Time
+}
+
+// Summary computes the per-category rollup of everything recorded.
+func (t *Tracer) Summary() TraceSummary {
+	var sum TraceSummary
+	agg := map[Category]*CategorySummary{}
+	for _, s := range t.Spans() {
+		c := agg[s.Cat]
+		if c == nil {
+			c = &CategorySummary{Cat: s.Cat}
+			agg[s.Cat] = c
+		}
+		c.Spans++
+		c.Time += s.Dur()
+		c.Bytes += s.Bytes
+		sum.Spans++
+		if s.End > sum.Horizon {
+			sum.Horizon = s.End
+		}
+	}
+	for _, cat := range Categories() {
+		if c := agg[cat]; c != nil {
+			sum.Categories = append(sum.Categories, *c)
+			delete(agg, cat)
+		}
+	}
+	// Categories outside the fixed vocabulary (none are produced by this
+	// repository, but a trace could be merged from elsewhere) follow in
+	// lexical order.
+	var extra []CategorySummary
+	for _, c := range agg {
+		extra = append(extra, *c)
+	}
+	for i := 0; i < len(extra); i++ {
+		for j := i + 1; j < len(extra); j++ {
+			if extra[j].Cat < extra[i].Cat {
+				extra[i], extra[j] = extra[j], extra[i]
+			}
+		}
+	}
+	sum.Categories = append(sum.Categories, extra...)
+	sum.Counters = t.Counters()
+	return sum
+}
+
+// WriteText renders the summary as an aligned plain-text table.
+func (s TraceSummary) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace summary: %d spans, horizon %v\n", s.Spans, s.Horizon); err != nil {
+		return err
+	}
+	if len(s.Categories) > 0 {
+		if _, err := fmt.Fprintf(w, "%-10s %8s %12s %14s\n", "category", "spans", "time", "bytes"); err != nil {
+			return err
+		}
+		for _, c := range s.Categories {
+			if _, err := fmt.Fprintf(w, "%-10s %8d %12v %14d\n", c.Cat, c.Spans, c.Time, c.Bytes); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		for _, c := range s.Counters {
+			if _, err := fmt.Fprintf(w, "  %-28s %14d\n", string(c.Key.Cat)+"/"+c.Key.Name, c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
