@@ -243,7 +243,9 @@ func SymmetricStepProfile(m core.Model, node *machine.Node, cfg SymmetricConfig)
 // heterogeneous) world, returning the makespan and the MPI profile.
 func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machine.Device,
 	assignment [][]Piece, locs []simmpi.Location, stack *pcie.Stack) (vclock.Time, simmpi.ProfileSummary, error) {
-	w, err := simmpi.NewWorld(simmpi.Config{Ranks: locs, Stack: stack})
+	// The step script only exchanges representative payload sizes (the
+	// fringe contents are never read), so the transport runs size-only.
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: locs, Stack: stack, SizeOnlyPayloads: true})
 	if err != nil {
 		return 0, simmpi.ProfileSummary{}, err
 	}
@@ -270,6 +272,7 @@ func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machi
 			if per < 64 {
 				per = 64
 			}
+			fringe := simmpi.GetPayload(per)
 			for p := 1; p <= partners; p++ {
 				dst := (id + p*ranks/(partners+1) + 1) % ranks
 				if dst == id {
@@ -279,8 +282,9 @@ func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machi
 				if src == id {
 					src = (id - 1 + ranks) % ranks
 				}
-				r.Sendrecv(dst, p, make([]byte, per), src, p)
+				simmpi.Recycle(r.Sendrecv(dst, p, fringe, src, p))
 			}
+			simmpi.Recycle(fringe)
 		}
 		r.AllreduceSum(1)
 	})

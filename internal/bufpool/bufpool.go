@@ -1,0 +1,70 @@
+// Package bufpool provides size-classed free lists for the transient
+// slices the simulator's hot paths churn through: message payloads,
+// FFT pencil scratch, conversion buffers. Slices are recycled in
+// power-of-two capacity classes on top of sync.Pool, so concurrent
+// ranks and worker goroutines share safely and idle buffers are
+// reclaimed by the garbage collector.
+//
+// Pooling is a host-memory concern only: buffer reuse never touches
+// virtual time, so simulation results are unaffected by pool hits,
+// misses, or GC timing.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClasses covers capacities up to 2^32 elements, far beyond any
+// buffer the simulator moves.
+const maxClasses = 33
+
+// A Pool recycles []T buffers in power-of-two capacity classes.
+// The zero value is ready to use.
+type Pool[T any] struct {
+	classes [maxClasses]sync.Pool
+}
+
+// Get returns a slice of length n with power-of-two capacity. The
+// contents are ARBITRARY — callers must fully overwrite before
+// reading, or use GetZeroed.
+func (p *Pool[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1))
+	if c >= maxClasses {
+		return make([]T, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		return (*(v.(*[]T)))[:n]
+	}
+	return make([]T, n, 1<<c)
+}
+
+// GetZeroed returns a zero-filled slice of length n.
+func (p *Pool[T]) GetZeroed(n int) []T {
+	s := p.Get(n)
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// Put recycles s for a later Get. Only buffers with exact power-of-two
+// capacity (as Get hands out) are kept; anything else is dropped, so
+// recycling a slice of unknown origin is always safe. The caller must
+// not touch s afterwards.
+func (p *Pool[T]) Put(s []T) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls >= maxClasses {
+		return
+	}
+	s = s[:c]
+	p.classes[cls].Put(&s)
+}

@@ -1,0 +1,66 @@
+package bufpool
+
+import "testing"
+
+func TestGetLengthAndClass(t *testing.T) {
+	var p Pool[byte]
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 1000, 1024, 1025} {
+		s := p.Get(n)
+		if len(s) != n {
+			t.Fatalf("Get(%d) length %d", n, len(s))
+		}
+		if c := cap(s); c&(c-1) != 0 || c < n {
+			t.Fatalf("Get(%d) capacity %d not a covering power of two", n, c)
+		}
+		p.Put(s)
+	}
+	if s := p.Get(0); s != nil {
+		t.Fatalf("Get(0) = %v, want nil", s)
+	}
+	if s := p.Get(-5); s != nil {
+		t.Fatalf("Get(-5) = %v, want nil", s)
+	}
+}
+
+func TestRoundTripReuse(t *testing.T) {
+	var p Pool[int]
+	s := p.Get(100)
+	for i := range s {
+		s[i] = i
+	}
+	p.Put(s)
+	// A pooled buffer may come back with stale contents...
+	s2 := p.Get(100)
+	if len(s2) != 100 {
+		t.Fatalf("reused length %d", len(s2))
+	}
+	p.Put(s2)
+	// ...but GetZeroed must always be clean.
+	z := p.GetZeroed(100)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPutForeignSlices(t *testing.T) {
+	var p Pool[byte]
+	p.Put(nil)                 // no-op
+	p.Put(make([]byte, 0))     // zero cap: dropped
+	p.Put(make([]byte, 10))    // non-power-of-two cap: dropped
+	p.Put(make([]byte, 5, 16)) // power-of-two cap from elsewhere: kept
+	s := p.Get(16)
+	if len(s) != 16 {
+		t.Fatalf("Get(16) length %d", len(s))
+	}
+}
+
+func BenchmarkGetPut1K(b *testing.B) {
+	b.ReportAllocs()
+	var p Pool[byte]
+	for i := 0; i < b.N; i++ {
+		s := p.Get(1024)
+		p.Put(s)
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchExperiment is the wall-clock and allocation record of one
+// experiment inside a BenchRun.
+type BenchExperiment struct {
+	ID         string `json:"id"`
+	WallNs     int64  `json:"wall_ns"`
+	Bytes      int    `json:"output_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Error      string `json:"error,omitempty"`
+}
+
+// BenchRun is one labeled benchmark pass over a set of experiments —
+// real host wall-clock and heap numbers, as opposed to the virtual
+// times the experiments themselves report. Runs accumulate in a JSON
+// file so before/after comparisons live side by side.
+type BenchRun struct {
+	Label       string            `json:"label"`
+	Time        string            `json:"time,omitempty"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	NumCPU      int               `json:"num_cpu"`
+	Workers     int               `json:"workers"`
+	Quick       bool              `json:"quick"`
+	TotalWallNs int64             `json:"total_wall_ns"`
+	Experiments []BenchExperiment `json:"experiments"`
+}
+
+// NewBenchRun assembles a BenchRun from engine results. Per-experiment
+// alloc numbers are process-wide deltas, so they are only exact when
+// workers == 1 (see Result).
+func NewBenchRun(label string, quick bool, workers int, total time.Duration, results []Result) BenchRun {
+	run := BenchRun{
+		Label:       label,
+		Time:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Workers:     workers,
+		Quick:       quick,
+		TotalWallNs: total.Nanoseconds(),
+		Experiments: make([]BenchExperiment, 0, len(results)),
+	}
+	for _, r := range results {
+		be := BenchExperiment{
+			ID:         r.ID,
+			WallNs:     r.Wall.Nanoseconds(),
+			Bytes:      r.Bytes,
+			Mallocs:    r.Mallocs,
+			AllocBytes: r.AllocBytes,
+		}
+		if r.Err != nil {
+			be.Error = r.Err.Error()
+		}
+		run.Experiments = append(run.Experiments, be)
+	}
+	return run
+}
+
+// AppendBenchJSON appends run to the JSON array in path, creating the
+// file if needed. The file stays a single pretty-printed array so it
+// diffs cleanly in review.
+func AppendBenchJSON(path string, run BenchRun) error {
+	var runs []BenchRun
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if len(data) > 0 {
+			if jerr := json.Unmarshal(data, &runs); jerr != nil {
+				return fmt.Errorf("harness: %s: existing bench file is not a run array: %w", path, jerr)
+			}
+		}
+	case os.IsNotExist(err):
+		// first run: start a fresh array
+	default:
+		return err
+	}
+	runs = append(runs, run)
+	out, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

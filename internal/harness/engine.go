@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -22,6 +23,12 @@ type Result struct {
 	Wall time.Duration
 	// Bytes is the size of the experiment's rendered output.
 	Bytes int
+	// Mallocs and AllocBytes are the heap activity (object count and
+	// cumulative bytes) observed while the experiment ran. They are
+	// process-wide runtime.MemStats deltas: exact with one worker,
+	// approximate (overlapping) with several.
+	Mallocs    uint64
+	AllocBytes uint64
 	// Err is the experiment's failure, if any.
 	Err error
 }
@@ -95,15 +102,21 @@ func RunExperiments(w io.Writer, env Env, exps []Experiment, workers int) ([]Res
 					children[i].SetProcess(e.ID)
 					cenv.Tracer = children[i]
 				}
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
 				start := time.Now()
 				err := Render(&bufs[i], e, cenv)
+				wall := time.Since(start)
+				runtime.ReadMemStats(&m1)
 				results[i] = Result{
-					ID:    e.ID,
-					Title: e.Title,
-					Index: i,
-					Wall:  time.Since(start),
-					Bytes: bufs[i].Len(),
-					Err:   err,
+					ID:         e.ID,
+					Title:      e.Title,
+					Index:      i,
+					Wall:       wall,
+					Bytes:      bufs[i].Len(),
+					Mallocs:    m1.Mallocs - m0.Mallocs,
+					AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+					Err:        err,
 				}
 				close(ready[i])
 			}

@@ -110,8 +110,11 @@ func runFig20(w io.Writer, env Env) error {
 	pow2 := []int{64, 128}
 	squares := []int{64, 121, 169, 225}
 	if env.Quick {
+		// One Phi rank count per benchmark family is enough for the quick
+		// smoke: it still exercises every benchmark's script and keeps the
+		// FT-on-Phi OOM row the tests spot-check.
 		pow2 = []int{64}
-		squares = []int{64, 121}
+		squares = []int{64}
 	}
 	for _, b := range []npb.Benchmark{npb.CG, npb.MG, npb.FT, npb.LU} {
 		if err := run(b, 16, pow2); err != nil {

@@ -37,9 +37,7 @@ func StreamBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes i
 	}
 	h.Flush()
 	// Warm-up pass.
-	for i := 0; i < lines; i++ {
-		h.Access(uint64(i) * lineBytes)
-	}
+	h.AccessRange(0, lines, lineBytes)
 	// Measured passes: stream the set repeatedly, tallying which level
 	// serves each line.
 	passes := 1
@@ -48,10 +46,7 @@ func StreamBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes i
 	}
 	counts := make([]uint64, len(h.levels)+1)
 	for p := 0; p < passes; p++ {
-		for i := 0; i < lines; i++ {
-			lv, _ := h.Access(uint64(i) * lineBytes)
-			counts[lv]++
-		}
+		h.AccessRangeInto(counts, 0, lines, lineBytes)
 	}
 	// Harmonic combination: total time = sum over levels of
 	// bytes_served_by_level / level_bandwidth.
@@ -74,12 +69,15 @@ func StreamBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes i
 }
 
 // BandwidthCurve sweeps working-set sizes (doubling) and returns the
-// Figure 6 curves for the given processor.
+// Figure 6 curves for the given processor. Points are independent —
+// StreamBandwidth flushes before measuring — so they run concurrently
+// on a bounded worker pool, each against its own hierarchy, with
+// results written by index (deterministic for any worker count).
 func BandwidthCurve(proc machine.ProcessorSpec, minBytes, maxBytes int) []BandwidthPoint {
-	h := MustHierarchy(proc)
-	var out []BandwidthPoint
-	for ws := minBytes; ws <= maxBytes; ws *= 2 {
-		out = append(out, StreamBandwidth(h, proc, ws))
-	}
+	sizes := doublingSizes(minBytes, maxBytes)
+	out := make([]BandwidthPoint, len(sizes))
+	sweepHier(proc, len(sizes), func(h *Hierarchy, i int) {
+		out[i] = StreamBandwidth(h, proc, sizes[i])
+	})
 	return out
 }

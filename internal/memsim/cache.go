@@ -77,6 +77,18 @@ func (c *Cache) line(addr uint64) uint64 { return addr / uint64(c.lineBytes) }
 func (c *Cache) Lookup(addr uint64) bool {
 	ln := c.line(addr)
 	set := c.tags[ln%uint64(c.sets)]
+	// MRU fast path: streaming accesses re-touch the most recent line, and
+	// a hit at index 0 leaves LRU order unchanged, so no movement is
+	// needed. This also fully covers the hit side of a direct-mapped
+	// (assoc==1) cache, whose sets hold at most one line.
+	if len(set) > 0 && set[0] == ln {
+		c.hits++
+		return true
+	}
+	if c.assoc == 1 {
+		c.misses++
+		return false
+	}
 	for i, tag := range set {
 		if tag == ln {
 			// Move to front (MRU).

@@ -60,13 +60,14 @@ func ChaseLatency(h *Hierarchy, workingSetBytes int, seed uint64) LatencyPoint {
 
 // LatencyCurve sweeps working-set sizes from minBytes to maxBytes
 // (doubling) and returns the Figure 5 curve for the given processor.
+// Each point keeps its historical seed (1, 2, 3, ... in sweep order)
+// and measures against its own flushed hierarchy, so the concurrent
+// sweep returns exactly what the sequential one did.
 func LatencyCurve(proc machine.ProcessorSpec, minBytes, maxBytes int) []LatencyPoint {
-	h := MustHierarchy(proc)
-	var out []LatencyPoint
-	seed := uint64(1)
-	for ws := minBytes; ws <= maxBytes; ws *= 2 {
-		out = append(out, ChaseLatency(h, ws, seed))
-		seed++
-	}
+	sizes := doublingSizes(minBytes, maxBytes)
+	out := make([]LatencyPoint, len(sizes))
+	sweepHier(proc, len(sizes), func(h *Hierarchy, i int) {
+		out[i] = ChaseLatency(h, sizes[i], uint64(1+i))
+	})
 	return out
 }

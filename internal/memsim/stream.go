@@ -71,10 +71,13 @@ func TriadBandwidth(part machine.Partition, cfg StreamConfig) float64 {
 }
 
 // StreamCurve returns the Figure 4 curve for a device: aggregate triad
-// bandwidth at each thread count in threads.
+// bandwidth at each thread count in threads. Points are independent
+// model evaluations, so the sweep runs on the shared bounded worker
+// pool with results written by index.
 func StreamCurve(n *machine.Node, dev machine.Device, threads []int, cfg StreamConfig) []StreamPoint {
-	out := make([]StreamPoint, 0, len(threads))
-	for _, t := range threads {
+	out := make([]StreamPoint, len(threads))
+	sweepPoints(len(threads), func(i int) {
+		t := threads[i]
 		var part machine.Partition
 		if dev.IsPhi() {
 			part = machine.PhiThreadsPartition(n, dev, t)
@@ -90,8 +93,8 @@ func StreamCurve(n *machine.Node, dev machine.Device, threads []int, cfg StreamC
 			}
 			part = machine.HostCoresPartition(n, cores, tpc)
 		}
-		out = append(out, StreamPoint{Threads: t, TriadGBs: TriadBandwidth(part, cfg)})
-	}
+		out[i] = StreamPoint{Threads: t, TriadGBs: TriadBandwidth(part, cfg)}
+	})
 	return out
 }
 

@@ -21,20 +21,16 @@ func StridedBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes,
 	if accesses < 1 {
 		accesses = 1
 	}
-	// Warm-up pass.
-	for i := 0; i < accesses; i++ {
-		h.Access(uint64(i * strideBytes))
-	}
+	// Warm-up pass. Small strides ride AccessRange's analytic fast path:
+	// only line-boundary accesses walk the LRU state.
+	h.AccessRange(0, accesses, uint64(strideBytes))
 	passes := 1
 	if accesses < 4096 {
 		passes = 4096/accesses + 1
 	}
 	counts := make([]uint64, len(h.levels)+1)
 	for p := 0; p < passes; p++ {
-		for i := 0; i < accesses; i++ {
-			lv, _ := h.Access(uint64(i * strideBytes))
-			counts[lv]++
-		}
+		h.AccessRangeInto(counts, 0, accesses, uint64(strideBytes))
 	}
 	// Bottleneck accounting: the core consumes elemBytes per access from
 	// L1; every level below moves a whole line per access it serves.
@@ -69,9 +65,13 @@ func GatherLatencyBound(h *Hierarchy, workingSetBytes, elemBytes int, seed uint6
 // a DRAM-resident working set — the simulation-backed counterpart of the
 // execution model's calibrated derates.
 func StrideDerate(proc machine.ProcessorSpec, strideBytes int) float64 {
-	h := MustHierarchy(proc)
 	ws := 32 << 20
-	unit := StridedBandwidth(h, proc, ws, 8, 8)
-	strided := StridedBandwidth(h, proc, ws, strideBytes, 8)
-	return strided / unit
+	// The unit and strided measurements are independent (each flushes the
+	// hierarchy it is given), so run them as a two-point sweep.
+	var bw [2]float64
+	strides := [2]int{8, strideBytes}
+	sweepHier(proc, 2, func(h *Hierarchy, i int) {
+		bw[i] = StridedBandwidth(h, proc, ws, strides[i], 8)
+	})
+	return bw[1] / bw[0]
 }

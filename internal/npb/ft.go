@@ -33,19 +33,14 @@ func fft1D(a []complex128, invert bool) {
 		}
 	}
 	for length := 2; length <= n; length <<= 1 {
-		ang := 2 * math.Pi / float64(length)
-		if invert {
-			ang = -ang
-		}
-		wl := cmplx.Exp(complex(0, ang))
+		tw := twiddles(length, invert)
+		half := length / 2
 		for i := 0; i < n; i += length {
-			w := complex(1, 0)
-			for j := 0; j < length/2; j++ {
+			for j := 0; j < half; j++ {
 				u := a[i+j]
-				v := a[i+j+length/2] * w
+				v := a[i+j+half] * tw[j]
 				a[i+j] = u + v
-				a[i+j+length/2] = u - v
-				w *= wl
+				a[i+j+half] = u - v
 			}
 		}
 	}
@@ -74,11 +69,11 @@ func FFT3D(g *FTGrid, invert bool, team *simomp.Team) {
 		off := p * nx
 		fft1D(g.V[off:off+nx], invert)
 	})
-	// Y pencils: stride nx.
-	runPencils(team, nx*nz, func(p int) {
+	// Y pencils: stride nx. Pencil scratch comes from the free list;
+	// the buffer is fully overwritten before it is read.
+	runPencilsBuf(team, nx*nz, ny, func(p int, buf []complex128) {
 		z := p / nx
 		x := p % nx
-		buf := make([]complex128, ny)
 		for y := 0; y < ny; y++ {
 			buf[y] = g.V[g.Idx(x, y, z)]
 		}
@@ -88,10 +83,9 @@ func FFT3D(g *FTGrid, invert bool, team *simomp.Team) {
 		}
 	})
 	// Z pencils: stride nx*ny.
-	runPencils(team, nx*ny, func(p int) {
+	runPencilsBuf(team, nx*ny, nz, func(p int, buf []complex128) {
 		y := p / nx
 		x := p % nx
-		buf := make([]complex128, nz)
 		for z := 0; z < nz; z++ {
 			buf[z] = g.V[g.Idx(x, y, z)]
 		}
@@ -110,6 +104,26 @@ func runPencils(team *simomp.Team, n int, body func(p int)) {
 		return
 	}
 	team.ParallelFor(n, simomp.ForOpts{Sched: simomp.Static}, body)
+}
+
+// runPencilsBuf is runPencils for bodies needing bufLen scratch
+// elements. Serial runs share one pooled buffer across all pencils;
+// team runs take one per body invocation, since bodies execute
+// concurrently on the team's workers.
+func runPencilsBuf(team *simomp.Team, n, bufLen int, body func(p int, buf []complex128)) {
+	if team == nil {
+		buf := c128Pool.Get(bufLen)
+		for p := 0; p < n; p++ {
+			body(p, buf)
+		}
+		c128Pool.Put(buf)
+		return
+	}
+	team.ParallelFor(n, simomp.ForOpts{Sched: simomp.Static}, func(p int) {
+		buf := c128Pool.Get(bufLen)
+		body(p, buf)
+		c128Pool.Put(buf)
+	})
 }
 
 // FTResult carries the per-step checksums the suite verifies, plus the
@@ -133,7 +147,8 @@ func RunFT(nx, ny, nz, steps int, team *simomp.Team) (FTResult, error) {
 	if steps < 1 {
 		return FTResult{}, fmt.Errorf("npb: FT needs at least one step")
 	}
-	u0 := NewFTGrid(nx, ny, nz)
+	u0 := NewPooledFTGrid(nx, ny, nz)
+	defer u0.Free()
 	seed := DefaultSeed
 	for i := range u0.V {
 		re := Randlc(&seed, MultA)
@@ -142,7 +157,8 @@ func RunFT(nx, ny, nz, steps int, team *simomp.Team) (FTResult, error) {
 	}
 
 	// Forward transform once.
-	freq := NewFTGrid(nx, ny, nz)
+	freq := NewPooledFTGrid(nx, ny, nz)
+	defer freq.Free()
 	copy(freq.V, u0.V)
 	FFT3D(freq, false, team)
 
@@ -157,7 +173,8 @@ func RunFT(nx, ny, nz, steps int, team *simomp.Team) (FTResult, error) {
 	}
 
 	res := FTResult{}
-	work := NewFTGrid(nx, ny, nz)
+	work := NewPooledFTGrid(nx, ny, nz)
+	defer work.Free()
 	for step := 1; step <= steps; step++ {
 		t := float64(step)
 		for z := 0; z < nz; z++ {

@@ -98,7 +98,9 @@ func MPIRun(m core.Model, b Benchmark, c Class, dev machine.Device, ranks int, n
 	// decompositions are balanced).
 	computePerIter := m.Time(w, part) / vclock.Time(s.Iters)
 
-	cfg := simmpi.Config{}
+	// The iteration scripts only ever use payload sizes (results are
+	// recycled unread), so the world runs in size-only transport mode.
+	cfg := simmpi.Config{SizeOnlyPayloads: true}
 	if dev.IsPhi() {
 		cfg.Ranks = simmpi.PhiPlacement(dev, ranks, tpc)
 	} else {
@@ -125,6 +127,12 @@ func MPIRun(m core.Model, b Benchmark, c Class, dev machine.Device, ranks int, n
 // iterationScript runs ONE representative iteration of the benchmark's
 // communication pattern on rank r, with the compute share charged along
 // the way. Payload sizes follow the benchmark's decomposition.
+//
+// Only sizes matter to the model (payload contents are never read), so
+// send buffers are hoisted out of the loops and drawn from the free
+// lists, and received payloads recycle as soon as they return — the
+// per-message allocation churn this removed was most of Figure 20's
+// host wall-clock.
 func iterationScript(b Benchmark, s Size, compute vclock.Time, r *simmpi.Rank) {
 	n := r.Size()
 	id := r.ID()
@@ -132,21 +140,23 @@ func iterationScript(b Benchmark, s Size, compute vclock.Time, r *simmpi.Rank) {
 	switch b {
 	case EP:
 		r.Compute(compute)
-		r.Allreduce(make([]float64, 12), simmpi.OpSum) // sx, sy, q[10]
+		simmpi.RecycleF64(r.Allreduce(make([]float64, 12), simmpi.OpSum)) // sx, sy, q[10]
 	case CG:
 		// 25 CG steps: halo exchange with the transpose partner for the
 		// matvec, then three dot-product allreduces.
 		rowBytes := int(8 * float64(s.N) / math.Sqrt(float64(n)))
 		partner := id ^ 1
+		row := bytePool.Get(rowBytes)
 		for step := 0; step < 25; step++ {
 			r.Compute(compute / 25)
 			if n > 1 {
-				r.Sendrecv(partner, 0, make([]byte, rowBytes), partner, 0)
+				simmpi.Recycle(r.Sendrecv(partner, 0, row, partner, 0))
 			}
 			for d := 0; d < 3; d++ {
 				r.AllreduceSum(1)
 			}
 		}
+		bytePool.Put(row)
 	case MG:
 		// Halo exchanges on every level: 6 faces, shrinking with level.
 		levels := log2(s.Grid[0]) - 1
@@ -161,9 +171,11 @@ func iterationScript(b Benchmark, s Size, compute vclock.Time, r *simmpi.Rank) {
 			if n > 1 {
 				right := (id + 1) % n
 				left := (id - 1 + n) % n
+				fb := bytePool.Get(faceBytes)
 				for f := 0; f < 3; f++ {
-					r.Sendrecv(right, f, make([]byte, faceBytes), left, f)
+					simmpi.Recycle(r.Sendrecv(right, f, fb, left, f))
 				}
+				bytePool.Put(fb)
 			}
 		}
 		r.AllreduceSum(1)
@@ -175,35 +187,42 @@ func iterationScript(b Benchmark, s Size, compute vclock.Time, r *simmpi.Rank) {
 		if block < 16 {
 			block = 16
 		}
-		r.Alltoall(make([]byte, n*block), block)
+		buf := bytePool.Get(n * block)
+		simmpi.Recycle(r.Alltoall(buf, block))
+		bytePool.Put(buf)
 	case IS:
 		r.Compute(compute)
 		block := int(4 * float64(s.N) / float64(n) / float64(n))
 		if block < 4 {
 			block = 4
 		}
-		r.Alltoall(make([]byte, n*block), block)
-		r.Allreduce(make([]float64, 4), simmpi.OpSum)
+		buf := bytePool.Get(n * block)
+		simmpi.Recycle(r.Alltoall(buf, block))
+		bytePool.Put(buf)
+		simmpi.RecycleF64(r.Allreduce(make([]float64, 4), simmpi.OpSum))
 	case LU:
 		// Wavefront pipeline: each hyperplane's boundary flows to the
 		// next rank; two sweeps per iteration.
 		planes := 2 * s.Grid[0]
 		msg := int(8 * ncomp * float64(s.Grid[0]))
+		plane := bytePool.Get(msg)
 		for p := 0; p < planes; p++ {
 			if id > 0 {
-				r.Recv(id-1, p)
+				simmpi.Recycle(r.Recv(id-1, p))
 			}
 			r.Compute(compute / vclock.Time(planes))
 			if id < n-1 {
-				r.Send(id+1, p, make([]byte, msg))
+				r.Send(id+1, p, plane)
 			}
 		}
+		bytePool.Put(plane)
 	case BT, SP:
 		// Square process grid: face exchanges with four neighbors per
 		// directional sweep.
 		side := int(math.Round(math.Sqrt(float64(n))))
 		row, col := id/side, id%side
 		faceBytes := int(8 * ncomp * math.Pow(pts/float64(n), 2.0/3.0))
+		fb := bytePool.Get(faceBytes)
 		for dim := 0; dim < 3; dim++ {
 			r.Compute(compute / 3)
 			if n == 1 {
@@ -214,11 +233,12 @@ func iterationScript(b Benchmark, s Size, compute vclock.Time, r *simmpi.Rank) {
 			downRow := ((row+1)%side)*side + col
 			upRow := ((row-1+side)%side)*side + col
 			if rightCol != id {
-				r.Sendrecv(rightCol, dim, make([]byte, faceBytes), leftCol, dim)
+				simmpi.Recycle(r.Sendrecv(rightCol, dim, fb, leftCol, dim))
 			}
 			if downRow != id {
-				r.Sendrecv(downRow, 100+dim, make([]byte, faceBytes), upRow, 100+dim)
+				simmpi.Recycle(r.Sendrecv(downRow, 100+dim, fb, upRow, 100+dim))
 			}
 		}
+		bytePool.Put(fb)
 	}
 }

@@ -1,0 +1,39 @@
+package npb
+
+import "maia/internal/bufpool"
+
+// Package-level free lists for the kernels' transient buffers: FFT
+// pencil scratch and grids, transpose payloads, and the float<->byte
+// conversion buffers on the MPI paths. Reuse is host-memory-only — no
+// modeled (virtual-time) number depends on where a buffer came from.
+var (
+	c128Pool bufpool.Pool[complex128]
+	f64Pool  bufpool.Pool[float64]
+	bytePool bufpool.Pool[byte]
+)
+
+// NewPooledFTGrid is NewFTGrid drawing the backing array from the
+// package free list; pair with Free when the grid's lifetime ends.
+func NewPooledFTGrid(nx, ny, nz int) *FTGrid {
+	return &FTGrid{Nx: nx, Ny: ny, Nz: nz, V: c128Pool.GetZeroed(nx * ny * nz)}
+}
+
+// Free recycles the grid's backing array. The grid must not be used
+// afterwards.
+func (g *FTGrid) Free() {
+	c128Pool.Put(g.V)
+	g.V = nil
+}
+
+// NewPooledField5 is NewField5 drawing the backing array from the
+// package free list; pair with Free when the field's lifetime ends.
+func NewPooledField5(n int) *Field5 {
+	return &Field5{N: n, V: f64Pool.GetZeroed(n * n * n * ncomp)}
+}
+
+// Free recycles the field's backing array. The field must not be used
+// afterwards.
+func (f *Field5) Free() {
+	f64Pool.Put(f.V)
+	f.V = nil
+}

@@ -1,0 +1,61 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// Twiddle-factor tables for fft1D. The butterfly loop historically
+// recomputed w by repeated multiplication (w *= wl) inside every block
+// of every stage of every pencil; the table is built ONCE per
+// (length, direction) with exactly that multiplication sequence, so
+// reading tw[j] yields bit-for-bit the floats the inline recurrence
+// produced — checksums and golden snapshots cannot tell the difference.
+//
+// The cache is concurrency-safe: pencil bodies run on simomp team
+// workers and simmpi rank goroutines simultaneously.
+var twiddleCache struct {
+	sync.RWMutex
+	tables map[int][]complex128 // key: +length forward, -length inverse
+}
+
+func twiddles(length int, invert bool) []complex128 {
+	key := length
+	if invert {
+		key = -length
+	}
+	twiddleCache.RLock()
+	tw := twiddleCache.tables[key]
+	twiddleCache.RUnlock()
+	if tw != nil {
+		return tw
+	}
+
+	ang := 2 * math.Pi / float64(length)
+	if invert {
+		ang = -ang
+	}
+	wl := cmplx.Exp(complex(0, ang))
+	fresh := make([]complex128, length/2)
+	w := complex(1, 0)
+	for j := range fresh {
+		fresh[j] = w
+		w *= wl
+	}
+
+	twiddleCache.Lock()
+	if twiddleCache.tables == nil {
+		twiddleCache.tables = make(map[int][]complex128)
+	}
+	// Keep the first table registered for the key: two racers compute
+	// identical contents, so either is correct, but a single canonical
+	// slice keeps the cache small.
+	if have := twiddleCache.tables[key]; have != nil {
+		fresh = have
+	} else {
+		twiddleCache.tables[key] = fresh
+	}
+	twiddleCache.Unlock()
+	return fresh
+}

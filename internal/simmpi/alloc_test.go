@@ -1,0 +1,85 @@
+package simmpi
+
+import (
+	"testing"
+)
+
+// Allocation-regression guards for the pooled send/recv path. The
+// per-message steady-state cost with a recycling receiver is a handful
+// of fixed-size bookkeeping allocations (the free-list boxes and the
+// amortized mailbox slice growth); payload bytes themselves must come
+// from the pool. A regression that reintroduces per-message payload
+// allocation blows straight through these bounds.
+
+// sendrecvWorldAllocs runs a 2-rank world exchanging msgs pooled
+// messages of msgBytes each (receiver recycles) and returns the total
+// allocation count of the world run.
+func sendrecvWorldAllocs(t testing.TB, msgs, msgBytes int) float64 {
+	payload := GetPayload(msgBytes)
+	defer Recycle(payload)
+	return testing.AllocsPerRun(3, func() {
+		w, err := NewWorld(Config{Ranks: HostPlacement(2, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(r *Rank) {
+			if r.ID() == 0 {
+				for k := 0; k < msgs; k++ {
+					r.Send(1, 1, payload)
+				}
+			} else {
+				for k := 0; k < msgs; k++ {
+					Recycle(r.Recv(0, 1))
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSendRecvPooledAllocBound pins the marginal allocations per pooled
+// send/recv pair. The bound is deliberately loose (the true steady
+// state is ~2: the two free-list boxes) so only a real regression —
+// e.g. the payload copy buffer no longer pooling — trips it.
+func TestSendRecvPooledAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	const msgBytes = 4096
+	base := sendrecvWorldAllocs(t, 64, msgBytes)
+	more := sendrecvWorldAllocs(t, 64+1024, msgBytes)
+	perMsg := (more - base) / 1024
+	if perMsg > 4 {
+		t.Errorf("pooled send/recv allocates %.2f allocs/message, want <= 4", perMsg)
+	}
+}
+
+// BenchmarkSendRecvPooled is the -benchmem view of the same path: a
+// 2-rank world streaming pooled messages with a recycling receiver.
+func BenchmarkSendRecvPooled(b *testing.B) {
+	b.ReportAllocs()
+	payload := GetPayload(4096)
+	defer Recycle(payload)
+	for i := 0; i < b.N; i++ {
+		w, err := NewWorld(Config{Ranks: HostPlacement(2, 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = w.Run(func(r *Rank) {
+			if r.ID() == 0 {
+				for k := 0; k < 64; k++ {
+					r.Send(1, 1, payload)
+				}
+			} else {
+				for k := 0; k < 64; k++ {
+					Recycle(r.Recv(0, 1))
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

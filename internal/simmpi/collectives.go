@@ -121,16 +121,23 @@ func (r *Rank) bcastVanDeGeijn(root int, data []byte, msgBytes int) []byte {
 	n := r.w.size
 	block := (msgBytes + n - 1) / n
 	padded := block * n
-	// Root pads to a whole number of blocks.
+	// Root pads to a whole number of blocks (zeroed: the padding bytes
+	// travel through the scatter/allgather, so keep them deterministic).
 	var buf []byte
 	if r.id == root {
-		buf = make([]byte, padded)
-		copy(buf, data)
+		if r.w.cfg.SizeOnlyPayloads {
+			buf = payloadPool.Get(padded)
+		} else {
+			buf = payloadPool.GetZeroed(padded)
+			copy(buf, data)
+		}
 	}
 	mine := r.Scatter(root, buf, block)
+	Recycle(buf)
 	// Scatter hands rank i block i, so the allgather reassembles the
 	// message in rank order regardless of the root.
 	full := r.Allgather(mine)
+	Recycle(mine)
 	return full[:msgBytes]
 }
 
@@ -142,25 +149,32 @@ func (r *Rank) reduceImpl(root int, vec []float64, op Op) []float64 {
 		panic(fmt.Sprintf("simmpi: Reduce root %d out of range", root))
 	}
 	r.setAlgo("binomial")
-	acc := append([]float64(nil), vec...)
+	acc := f64Pool.Get(len(vec))
+	copy(acc, vec)
 	rel := (r.id - root + n) % n
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
 			dst := (r.id - mask + n) % n
-			r.send(dst, tagReduce, f64ToBytes(acc))
+			pb := f64ToBytes(acc)
+			r.send(dst, tagReduce, pb)
+			Recycle(pb)
 			if rel == 0 {
 				break
 			}
+			RecycleF64(acc)
 			return nil
 		}
 		if rel+mask < n {
 			src := (r.id + mask) % n
-			other := bytesToF64(r.recv(src, tagReduce))
+			rb := r.recv(src, tagReduce)
+			other := bytesToF64(rb)
+			Recycle(rb)
 			if len(other) != len(acc) {
 				panic(fmt.Sprintf("simmpi: Reduce length mismatch %d vs %d", len(other), len(acc)))
 			}
 			op(acc, other)
+			RecycleF64(other)
 		}
 		mask <<= 1
 	}
@@ -176,15 +190,22 @@ func (r *Rank) reduceImpl(root int, vec []float64, op Op) []float64 {
 func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 	n := r.w.size
 	if n == 1 {
-		return append([]float64(nil), vec...)
+		out := f64Pool.Get(len(vec))
+		copy(out, vec)
+		return out
 	}
 	if n&(n-1) == 0 {
 		r.setAlgo("rd")
-		acc := append([]float64(nil), vec...)
+		acc := f64Pool.Get(len(vec))
+		copy(acc, vec)
 		for mask := 1; mask < n; mask <<= 1 {
 			partner := r.id ^ mask
-			r.send(partner, tagAllreduce, f64ToBytes(acc))
-			other := bytesToF64(r.recv(partner, tagAllreduce))
+			pb := f64ToBytes(acc)
+			r.send(partner, tagAllreduce, pb)
+			Recycle(pb)
+			rb := r.recv(partner, tagAllreduce)
+			other := bytesToF64(rb)
+			Recycle(rb)
 			if len(other) != len(acc) {
 				panic(fmt.Sprintf("simmpi: Allreduce length mismatch %d vs %d", len(other), len(acc)))
 			}
@@ -192,8 +213,10 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 			// result identical on every rank.
 			if r.id < partner {
 				op(acc, other)
+				RecycleF64(other)
 			} else {
 				op(other, acc)
+				RecycleF64(acc)
 				acc = other
 			}
 		}
@@ -201,11 +224,19 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 	}
 	r.setAlgo("reduce+bcast")
 	res := r.Reduce(0, vec, op)
-	buf := make([]byte, 8*len(vec))
+	var buf []byte
 	if r.id == 0 {
 		buf = f64ToBytes(res)
+		RecycleF64(res)
+	} else {
+		// Only the length matters on non-root ranks (Bcast replaces or
+		// ignores the contents), so an uninitialized pooled buffer is fine.
+		buf = payloadPool.Get(8 * len(vec))
 	}
-	return bytesToF64(r.Bcast(0, buf))
+	out := r.Bcast(0, buf)
+	result := bytesToF64(out)
+	Recycle(out)
+	return result
 }
 
 // Allgather concatenates every rank's block (all blocks must be the same
@@ -216,8 +247,13 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 func (r *Rank) allgatherImpl(block []byte) []byte {
 	n := r.w.size
 	m := len(block)
-	out := make([]byte, n*m)
-	copy(out[r.id*m:], block)
+	// Every block of out is overwritten below, so an uninitialized
+	// pooled buffer is safe. Callers own the result; Recycle returns it.
+	sizeOnly := r.w.cfg.SizeOnlyPayloads
+	out := payloadPool.Get(n * m)
+	if !sizeOnly {
+		copy(out[r.id*m:], block)
+	}
 	if n == 1 {
 		return out
 	}
@@ -233,7 +269,10 @@ func (r *Rank) allgatherImpl(block []byte) []byte {
 			pgroup := (partner / mask) * mask
 			r.send(partner, tagAllgatherRD, out[group*m:(group+mask)*m])
 			incoming := r.recv(partner, tagAllgatherRD)
-			copy(out[pgroup*m:(pgroup+mask)*m], incoming)
+			if !sizeOnly {
+				copy(out[pgroup*m:(pgroup+mask)*m], incoming)
+			}
+			Recycle(incoming)
 		}
 		return out
 	}
@@ -246,7 +285,10 @@ func (r *Rank) allgatherImpl(block []byte) []byte {
 		r.send(right, tagAllgatherRing, out[cur*m:(cur+1)*m])
 		cur = (cur - 1 + n) % n
 		data := r.recv(left, tagAllgatherRing)
-		copy(out[cur*m:(cur+1)*m], data)
+		if !sizeOnly {
+			copy(out[cur*m:(cur+1)*m], data)
+		}
+		Recycle(data)
 	}
 	return out
 }
@@ -261,14 +303,20 @@ func (r *Rank) alltoallImpl(data []byte, blockBytes int) []byte {
 		panic(fmt.Sprintf("simmpi: Alltoall buffer %d bytes, want %d", len(data), n*blockBytes))
 	}
 	r.setAlgo("pairwise")
-	out := make([]byte, n*blockBytes)
-	copy(out[r.id*blockBytes:], data[r.id*blockBytes:(r.id+1)*blockBytes])
+	sizeOnly := r.w.cfg.SizeOnlyPayloads
+	out := payloadPool.Get(n * blockBytes)
+	if !sizeOnly {
+		copy(out[r.id*blockBytes:], data[r.id*blockBytes:(r.id+1)*blockBytes])
+	}
 	for step := 1; step < n; step++ {
 		dst := (r.id + step) % n
 		src := (r.id - step + n) % n
 		r.send(dst, tagAlltoall, data[dst*blockBytes:(dst+1)*blockBytes])
 		got := r.recv(src, tagAlltoall)
-		copy(out[src*blockBytes:(src+1)*blockBytes], got)
+		if !sizeOnly {
+			copy(out[src*blockBytes:(src+1)*blockBytes], got)
+		}
+		Recycle(got)
 	}
 	return out
 }
@@ -286,14 +334,20 @@ func (r *Rank) gatherImpl(root int, block []byte) []byte {
 		return nil
 	}
 	m := len(block)
-	out := make([]byte, n*m)
-	copy(out[root*m:], block)
+	sizeOnly := r.w.cfg.SizeOnlyPayloads
+	out := payloadPool.Get(n * m)
+	if !sizeOnly {
+		copy(out[root*m:], block)
+	}
 	for src := 0; src < n; src++ {
 		if src == root {
 			continue
 		}
 		data := r.recv(src, tagGather)
-		copy(out[src*m:(src+1)*m], data)
+		if !sizeOnly {
+			copy(out[src*m:(src+1)*m], data)
+		}
+		Recycle(data)
 	}
 	return out
 }
@@ -316,8 +370,10 @@ func (r *Rank) scatterImpl(root int, data []byte, blockBytes int) []byte {
 			}
 			r.send(dst, tagScatter, data[dst*blockBytes:(dst+1)*blockBytes])
 		}
-		out := make([]byte, blockBytes)
-		copy(out, data[root*blockBytes:(root+1)*blockBytes])
+		out := payloadPool.Get(blockBytes)
+		if !r.w.cfg.SizeOnlyPayloads {
+			copy(out, data[root*blockBytes:(root+1)*blockBytes])
+		}
 		return out
 	}
 	return r.recv(root, tagScatter)
@@ -325,13 +381,21 @@ func (r *Rank) scatterImpl(root int, data []byte, blockBytes int) []byte {
 
 // AllreduceSum is shorthand for a one-element sum Allreduce.
 func (r *Rank) AllreduceSum(x float64) float64 {
-	return r.Allreduce([]float64{x}, OpSum)[0]
+	in := f64Pool.Get(1)
+	in[0] = x
+	out := r.Allreduce(in, OpSum)
+	v := out[0]
+	RecycleF64(out)
+	RecycleF64(in)
+	return v
 }
 
 // f64ToBytes and bytesToF64 move real float64 payloads through the byte
-// transport.
+// transport. Both draw their output from the package free lists (the
+// result is fully overwritten), so conversion scratch recycles through
+// Recycle/RecycleF64 instead of churning the heap.
 func f64ToBytes(v []float64) []byte {
-	b := make([]byte, 8*len(v))
+	b := payloadPool.Get(8 * len(v))
 	for i, x := range v {
 		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
 	}
@@ -339,7 +403,7 @@ func f64ToBytes(v []float64) []byte {
 }
 
 func bytesToF64(b []byte) []float64 {
-	v := make([]float64, len(b)/8)
+	v := f64Pool.Get(len(b) / 8)
 	for i := range v {
 		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}

@@ -1,0 +1,31 @@
+package simmpi
+
+import "maia/internal/bufpool"
+
+// payloadPool and f64Pool recycle the transport's transient buffers:
+// every send copies its payload into a pooled buffer, and the
+// collectives return their receive-side scratch as soon as the bytes
+// are copied out. Pooling is host-memory bookkeeping only — message
+// lengths, matching order, and every virtual-time number are identical
+// with the pool hot, cold, or collected.
+var (
+	payloadPool bufpool.Pool[byte]
+	f64Pool     bufpool.Pool[float64]
+)
+
+// Recycle returns a payload buffer to the transport's free list. Use
+// it on buffers whose lifetime has ended: a Recv/Sendrecv/Wait result
+// after its contents are consumed, or a collective's returned buffer.
+// Recycling is always optional (unrecycled buffers are simply garbage
+// collected) and safe on nil or foreign slices, but the caller must
+// not touch the slice afterwards.
+func Recycle(buf []byte) { payloadPool.Put(buf) }
+
+// RecycleF64 is Recycle for float64 buffers returned by Reduce,
+// Allreduce, and friends.
+func RecycleF64(vec []float64) { f64Pool.Put(vec) }
+
+// GetPayload hands out an n-byte buffer from the transport's free list
+// with unspecified contents — scratch for communication-pattern scripts
+// whose payload bytes are never read (pair with Recycle).
+func GetPayload(n int) []byte { return payloadPool.Get(n) }

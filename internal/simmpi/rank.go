@@ -91,8 +91,13 @@ func (r *Rank) send(dst, tag int, data []byte) {
 		r.tracer.Count(simtrace.CatMPI, "bytes", int64(len(data)))
 	}
 
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	// The message owns a pooled buffer of the payload's exact length; in
+	// size-only mode the bytes themselves are never read, so the copy is
+	// skipped and the buffer rides along uninitialized.
+	buf := payloadPool.Get(len(data))
+	if !r.w.cfg.SizeOnlyPayloads {
+		copy(buf, data)
+	}
 	box := r.w.boxes[dst]
 	box.mu.Lock()
 	box.bySrc[r.id] = append(box.bySrc[r.id], message{tag: tag, data: buf, sendTime: tsPost})

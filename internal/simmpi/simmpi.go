@@ -71,6 +71,15 @@ type Config struct {
 	// TraceLabel prefixes the per-rank track names ("label/rank3"), so
 	// several worlds can share one tracer without track collisions.
 	TraceLabel string
+	// SizeOnlyPayloads declares that the world's rank bodies never read
+	// message contents — only sizes matter. The transport then skips
+	// copying (and zeroing) payload bytes: every message and collective
+	// result keeps its exact byte length, but the contents are
+	// unspecified. All virtual times, profiles, and trace records derive
+	// from lengths alone, so modeled results are identical to a
+	// content-preserving run. Communication-pattern scripts (the NPB MPI
+	// driver, the IMB-style micro-benchmarks) run in this mode.
+	SizeOnlyPayloads bool
 }
 
 // HostPlacement places n ranks on the host at the given threads per core.
