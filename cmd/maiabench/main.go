@@ -15,6 +15,12 @@
 // simtrace tracer: -trace writes Chrome trace_event JSON loadable at
 // ui.perfetto.dev, -trace-summary prints the per-category rollup.
 //
+// With -faults the whole run is re-priced on a deterministically
+// degraded machine: a named simfault plan (stragglers, thermal
+// throttling, lossy PCIe, a dead coprocessor) threads into every
+// runtime the experiments construct. Golden verification is
+// healthy-machine only, so -faults rejects -verify/-update.
+//
 // Usage:
 //
 //	maiabench -list
@@ -25,6 +31,7 @@
 //	maiabench -update all        # regenerate golden snapshots
 //	maiabench -trace out.json fig13
 //	maiabench -trace-summary fig26
+//	maiabench -faults degraded -trace trace-fault.json fig10
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"maia/internal/harness"
+	"maia/internal/simfault"
 	"maia/internal/simtrace"
 )
 
@@ -60,9 +68,10 @@ func run(args []string) error {
 	benchLabel := fs.String("benchlabel", "run", "label for the -benchjson run entry")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of all virtual-time spans to this file (load at ui.perfetto.dev)")
 	traceSummary := fs.Bool("trace-summary", false, "print the per-category trace time/bytes summary after the run")
+	faults := fs.String("faults", "", "run under a named fault plan (see -list for the catalog); incompatible with -verify/-update")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
-			"usage: maiabench [-quick] [-parallel N] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
+			"usage: maiabench [-quick] [-parallel N] [-faults PLAN] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,15 +80,32 @@ func run(args []string) error {
 
 	reg := harness.Paper()
 
+	var plan *simfault.Plan
+	if *faults != "" {
+		if *verify || *update {
+			return fmt.Errorf("golden snapshots are healthy-machine: drop -faults with -verify/-update")
+		}
+		var err error
+		if plan, err = simfault.ByName(*faults); err != nil {
+			return err
+		}
+	}
+
 	var tracer *simtrace.Tracer
 	if *tracePath != "" || *traceSummary {
 		tracer = simtrace.New()
 	}
-	env := harness.DefaultEnv(harness.WithQuick(*quick), harness.WithTracer(tracer))
+	env := harness.DefaultEnv(harness.WithQuick(*quick), harness.WithTracer(tracer),
+		harness.WithFaults(plan))
 
 	if *list {
 		for _, e := range reg.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Printf("%-22s %-12s %-9s %s\n", e.ID, e.Section, e.Kind, e.Title)
+		}
+		fmt.Println()
+		fmt.Println("fault plans (-faults):")
+		for _, p := range simfault.Plans() {
+			fmt.Printf("%-22s %s\n", p.Name, p.Note)
 		}
 		return nil
 	}

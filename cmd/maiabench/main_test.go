@@ -74,6 +74,23 @@ func TestRunUpdateThenVerify(t *testing.T) {
 	}
 }
 
+// -faults re-prices a run on the degraded machine; unknown plan names
+// and golden-mode combinations fail fast.
+func TestRunFaults(t *testing.T) {
+	if err := run([]string{"-quick", "-faults", "phi0-down", "fig25"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-faults", "no-such-plan", "fig25"}); err == nil {
+		t.Fatal("unknown fault plan accepted")
+	}
+	if err := run([]string{"-faults", "degraded", "-verify", "fig7"}); err == nil {
+		t.Fatal("-faults -verify accepted (goldens are healthy-machine)")
+	}
+	if err := run([]string{"-faults", "degraded", "-update", "fig7"}); err == nil {
+		t.Fatal("-faults -update accepted (goldens are healthy-machine)")
+	}
+}
+
 // The embedded fallback serves snapshots when the -golden directory does
 // not exist (e.g. maiabench run outside the repository).
 func TestGoldenSourceFallsBackToEmbedded(t *testing.T) {

@@ -58,8 +58,8 @@ func run(args []string, w io.Writer) error {
 	}
 
 	kernels := map[string]func() error{}
-	rt := simomp.New(machine.HostCoresPartition(machine.NewNode(), *threads, 1))
-	rt.SetTracer(tracer, fmt.Sprintf("omp:host%d", *threads))
+	rt := simomp.New(machine.HostCoresPartition(machine.NewNode(), *threads, 1),
+		simomp.WithTracer(tracer, fmt.Sprintf("omp:host%d", *threads)))
 	team := simomp.NewTeam(rt)
 	kernels["ep"] = func() error { return runEP(w, *class, team, *mpiRanks) }
 	kernels["cg"] = func() error { return runCG(w, *class, team, *mpiRanks) }

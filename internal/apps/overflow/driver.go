@@ -6,6 +6,7 @@ import (
 	"maia/internal/core"
 	"maia/internal/machine"
 	"maia/internal/pcie"
+	"maia/internal/simfault"
 	"maia/internal/simmpi"
 	"maia/internal/simomp"
 	"maia/internal/vclock"
@@ -149,7 +150,7 @@ func StepTime(m core.Model, node *machine.Node, dev machine.Device, c Combo, d D
 		combos[i] = c
 		devs[i] = dev
 	}
-	t, _, err := runStepMixed(m, node, combos, devs, assignment, locs, nil)
+	t, _, _, err := runStepMixed(m, node, combos, devs, assignment, locs, nil, nil)
 	return t, err
 }
 
@@ -182,6 +183,9 @@ type SymmetricConfig struct {
 	HostCombo Combo // ranks x threads on the host
 	PhiCombo  Combo // ranks x threads on EACH Phi
 	Software  pcie.Software
+	// Faults, when non-nil, prices the step on the degraded machine the
+	// plan describes (straggler/throttled devices, lossy fabrics).
+	Faults *simfault.Plan
 }
 
 // SymmetricStepTime prices one DLRF6-Large step in symmetric mode: the
@@ -199,10 +203,20 @@ func SymmetricStepTime(m core.Model, node *machine.Node, cfg SymmetricConfig) (v
 // "communication time and overhead due to load imbalance" outweigh the
 // coprocessors' speedup.
 func SymmetricStepProfile(m core.Model, node *machine.Node, cfg SymmetricConfig) (vclock.Time, simmpi.ProfileSummary, error) {
-	d := DLRF6Large()
-	var locs []simmpi.Location
-	var combos []Combo
-	var devs []machine.Device
+	locs, combos, devs, speeds := symmetricSetup(m, node, cfg)
+	assignment, err := Decompose(DLRF6Large(), speeds)
+	if err != nil {
+		return 0, simmpi.ProfileSummary{}, err
+	}
+	t, prof, _, err := runStepMixed(m, node, combos, devs, assignment, locs,
+		pcie.NewStack(cfg.Software), cfg.Faults)
+	return t, prof, err
+}
+
+// symmetricSetup builds the rank placement of a symmetric run and the
+// production balancer's estimated per-rank speeds.
+func symmetricSetup(m core.Model, node *machine.Node, cfg SymmetricConfig) (
+	locs []simmpi.Location, combos []Combo, devs []machine.Device, speeds []float64) {
 	hostTpc := rankPartition(node, machine.Host, cfg.HostCombo).ThreadsPerCore
 	for i := 0; i < cfg.HostCombo.Ranks; i++ {
 		locs = append(locs, simmpi.Location{Device: machine.Host, ThreadsPerCore: hostTpc})
@@ -221,9 +235,11 @@ func SymmetricStepProfile(m core.Model, node *machine.Node, cfg SymmetricConfig)
 	// overestimates the Phi: its weights come from kernel benchmarks and
 	// card peak, while delivered OVERFLOW throughput is bandwidth-bound
 	// and zone-shape-sensitive. The resulting overload of the Phi ranks
-	// is the "overhead due to load imbalance" of Section 6.9.1.3.
+	// is the "overhead due to load imbalance" of Section 6.9.1.3. The
+	// static balancer is also blind to degradation a fault plan injects —
+	// that blindness is what SymmetricStepRebalanced repairs.
 	const phiBalanceBias = 1.5
-	speeds := make([]float64, len(locs))
+	speeds = make([]float64, len(locs))
 	unit := workloadFor(1_000_000)
 	for i := range speeds {
 		full := devicePartition(node, devs[i], combos[i])
@@ -232,22 +248,61 @@ func SymmetricStepProfile(m core.Model, node *machine.Node, cfg SymmetricConfig)
 			speeds[i] *= phiBalanceBias
 		}
 	}
+	return locs, combos, devs, speeds
+}
+
+// SymmetricStepRebalanced prices the symmetric step twice: first with
+// the static speed-model decomposition, then again after a dynamic
+// rebalance that redistributes zones by the per-rank compute times the
+// first step actually measured (the load-balancing loop production
+// overset codes run between steps). Under a fault plan the first step
+// observes the stragglers and throttles directly, so the rebalance
+// sheds zones from degraded ranks; on the healthy machine it just
+// corrects the balancer's Phi bias. Both makespans are returned.
+func SymmetricStepRebalanced(m core.Model, node *machine.Node, cfg SymmetricConfig) (static, rebalanced vclock.Time, err error) {
+	d := DLRF6Large()
+	locs, combos, devs, speeds := symmetricSetup(m, node, cfg)
 	assignment, err := Decompose(d, speeds)
 	if err != nil {
-		return 0, simmpi.ProfileSummary{}, err
+		return 0, 0, err
 	}
-	return runStepMixed(m, node, combos, devs, assignment, locs, pcie.NewStack(cfg.Software))
+	stack := pcie.NewStack(cfg.Software)
+	static, _, perRank, err := runStepMixed(m, node, combos, devs, assignment, locs, stack, cfg.Faults)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Measured speed: grid points actually processed per second of
+	// observed compute time, degradation included.
+	measured := make([]float64, len(perRank))
+	for i, ct := range perRank {
+		measured[i] = float64(Load(assignment[i])) / ct.Seconds()
+	}
+	reassignment, err := Decompose(d, measured)
+	if err != nil {
+		return 0, 0, err
+	}
+	rebalanced, _, _, err = runStepMixed(m, node, combos, devs, reassignment, locs, stack, cfg.Faults)
+	if err != nil {
+		return 0, 0, err
+	}
+	return static, rebalanced, nil
 }
 
 // runStepMixed executes one representative step on a (possibly
-// heterogeneous) world, returning the makespan and the MPI profile.
+// heterogeneous) world, returning the makespan, the MPI profile, and
+// each rank's observed compute time (the signal the dynamic rebalancer
+// keys on). plan, when non-nil, injects faults into the world: compute
+// derating happens inside Rank.Compute, so the observed times include
+// stragglers and throttle windows.
 func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machine.Device,
-	assignment [][]Piece, locs []simmpi.Location, stack *pcie.Stack) (vclock.Time, simmpi.ProfileSummary, error) {
+	assignment [][]Piece, locs []simmpi.Location, stack *pcie.Stack,
+	plan *simfault.Plan) (vclock.Time, simmpi.ProfileSummary, []vclock.Time, error) {
 	// The step script only exchanges representative payload sizes (the
 	// fringe contents are never read), so the transport runs size-only.
-	w, err := simmpi.NewWorld(simmpi.Config{Ranks: locs, Stack: stack, SizeOnlyPayloads: true})
+	w, err := simmpi.NewWorld(simmpi.Config{Ranks: locs, Stack: stack, SizeOnlyPayloads: true},
+		simmpi.WithFaultPlan(plan))
 	if err != nil {
-		return 0, simmpi.ProfileSummary{}, err
+		return 0, simmpi.ProfileSummary{}, nil, err
 	}
 	ranks := len(locs)
 	computes := make([]vclock.Time, ranks)
@@ -289,9 +344,13 @@ func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machi
 		r.AllreduceSum(1)
 	})
 	if err != nil {
-		return 0, simmpi.ProfileSummary{}, err
+		return 0, simmpi.ProfileSummary{}, nil, err
 	}
-	return w.MaxTime(), w.Summarize(), nil
+	observed := make([]vclock.Time, ranks)
+	for i, p := range w.Profiles() {
+		observed[i] = p.Compute
+	}
+	return w.MaxTime(), w.Summarize(), observed, nil
 }
 
 // HostOnlyStepTime prices DLRF6-Large on the host alone (16x1) — the
@@ -322,6 +381,6 @@ func TwoHostsStepTime(m core.Model, node *machine.Node) (vclock.Time, error) {
 		combos[i] = Combo{16, 1}
 		devs[i] = machine.Host
 	}
-	t, _, err := runStepMixed(m, node, combos, devs, assignment, locs, nil)
+	t, _, _, err := runStepMixed(m, node, combos, devs, assignment, locs, nil, nil)
 	return t, err
 }

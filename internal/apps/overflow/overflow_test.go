@@ -8,6 +8,7 @@ import (
 	"maia/internal/core"
 	"maia/internal/machine"
 	"maia/internal/pcie"
+	"maia/internal/simfault"
 	"maia/internal/simmpi"
 	"maia/internal/simomp"
 	"maia/internal/vclock"
@@ -453,5 +454,59 @@ func TestRunHybridPlacementIndependent(t *testing.T) {
 	}
 	if _, err := RunHybrid(sizes, 0.05, 1, nil, 0); err == nil {
 		t.Error("empty placement accepted")
+	}
+}
+
+// The dynamic rebalancer sheds load from a degraded device: under a Phi
+// straggler plan the rebalanced step beats the static decomposition,
+// and the whole procedure is deterministic.
+func TestSymmetricRebalanceUnderStraggler(t *testing.T) {
+	m := core.DefaultModel()
+	node := machine.NewNode()
+	cfg := SymmetricConfig{
+		HostCombo: Combo{16, 1},
+		PhiCombo:  Combo{8, 28},
+		Software:  pcie.PostUpdate,
+		Faults:    simfault.PhiStraggler(),
+	}
+	static, rebalanced, err := SymmetricStepRebalanced(m, node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebalanced >= static {
+		t.Errorf("rebalance did not help under straggler: %v >= %v", rebalanced, static)
+	}
+	s2, r2, err := SymmetricStepRebalanced(m, node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != static || r2 != rebalanced {
+		t.Errorf("rebalance not deterministic: %v/%v vs %v/%v", s2, r2, static, rebalanced)
+	}
+
+	// The faulted static step is slower than the healthy static step.
+	healthyCfg := cfg
+	healthyCfg.Faults = nil
+	healthy, err := SymmetricStepTime(m, node, healthyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static <= healthy {
+		t.Errorf("straggler plan did not slow the static step: %v <= %v", static, healthy)
+	}
+}
+
+// On the healthy machine the rebalancer corrects the balancer's Phi
+// bias, so it never makes the step worse.
+func TestSymmetricRebalanceHealthyNoWorse(t *testing.T) {
+	m := core.DefaultModel()
+	node := machine.NewNode()
+	static, rebalanced, err := SymmetricStepRebalanced(m, node, SymmetricConfig{
+		HostCombo: Combo{16, 1}, PhiCombo: Combo{8, 28}, Software: pcie.PostUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebalanced > static {
+		t.Errorf("healthy rebalance made the step worse: %v > %v", rebalanced, static)
 	}
 }

@@ -62,12 +62,12 @@ func extensionExperiments() []Experiment {
 
 func runExtOffloadPipeline(w io.Writer, env Env) error {
 	sync, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, npb.OffloadSubroutine,
-		offload.WithTracer(env.Tracer, "offload:sync"))
+		offload.WithTracer(env.Tracer, "offload:sync"), offload.WithFaultPlan(env.Faults))
 	if err != nil {
 		return err
 	}
 	pipe, err := npb.MGOffloadPipelined(env.Model, npb.ClassC, env.Node,
-		offload.WithTracer(env.Tracer, "offload:pipelined"))
+		offload.WithTracer(env.Tracer, "offload:pipelined"), offload.WithFaultPlan(env.Faults))
 	if err != nil {
 		return err
 	}
@@ -130,8 +130,8 @@ func runExtProfile(w io.Writer, env Env) error {
 }
 
 func runExtTasks(w io.Writer, env Env) error {
-	host := simomp.New(machine.HostPartition(env.Node, 1))
-	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
+	host := simomp.New(machine.HostPartition(env.Node, 1), simomp.WithFaultPlan(env.Faults))
+	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236), simomp.WithFaultPlan(env.Faults))
 	t := textplot.NewTable("tasks", "host us/task", "Phi us/task", "ratio")
 	for _, n := range []int{64, 256, 1024} {
 		h := simomp.MeasureTaskOverhead(host, n).Microseconds()

@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"maia/internal/apps/overflow"
+	"maia/internal/machine"
+	"maia/internal/npb"
+	"maia/internal/offload"
+	"maia/internal/pcie"
+	"maia/internal/simfault"
+	"maia/internal/simmpi"
+	"maia/internal/simtrace"
+	"maia/internal/textplot"
+	"maia/internal/vclock"
+)
+
+// Fault-injection experiments: the ext-fault-* family re-prices paper
+// workloads on deterministically degraded machines (package simfault).
+// Each experiment embeds its own catalog plan rather than reading
+// env.Faults, so its output is a pure function of the model — stable
+// under golden snapshots no matter what -faults selects for the rest of
+// the suite. Retry and fallback counts come from a per-experiment
+// tracer, keeping parallel suite runs byte-identical to sequential.
+
+// faultExperiments lists the ext-fault-* degraded-machine studies.
+func faultExperiments() []Experiment {
+	return []Experiment{{
+		ID:      "ext-fault-fabric",
+		Title:   "EXTENSION: mixed host+Phi MPI over a lossy PCIe fabric",
+		Paper:   "not measured; LRZ/Fang et al. report erratic PCIe/DAPL — timeouts, retries, and backoff price that damage here",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtFaultFabric,
+	}, {
+		ID:      "ext-fault-straggler",
+		Title:   "EXTENSION: symmetric OVERFLOW with straggling Phis, rebalanced",
+		Paper:   "Figure 23's robustness story replayed: static balance overloads slow Phis; rebalancing on measured speeds recovers",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtFaultStraggler,
+	}, {
+		ID:      "ext-fault-failover",
+		Title:   "EXTENSION: offload MG survives a dead Phi via host fallback",
+		Paper:   "graceful degradation beyond the paper: the run completes on the host cost model instead of erroring",
+		Section: "extension",
+		Kind:    KindExtension,
+		Run:     runExtFaultFailover,
+	}}
+}
+
+// counterTotal sums a tracer's fault counters matching name.
+func counterTotal(tr *simtrace.Tracer, name string) int64 {
+	var total int64
+	for _, c := range tr.Counters() {
+		if c.Key.Cat == simtrace.CatFault && c.Key.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// runExtFaultFabric runs MPI operations over a mixed host+Phi
+// communicator — half the ranks on each side of the PCIe bus — then
+// degrades the crossings with the lossy-pcie plan: derated flights,
+// added latency, and seeded drops the transport re-delivers under
+// timeout/backoff. The ring shows the bandwidth loss; the dense
+// collectives cross PCIe often enough that the 3% drop rate surfaces
+// as counted retransmissions.
+func runExtFaultFabric(w io.Writer, env Env) error {
+	plan := simfault.LossyPCIe()
+	iters := 2
+	if env.Quick {
+		iters = 1
+	}
+	const msg = 64 << 10
+	mixed := func() simmpi.Config {
+		return simmpi.Config{Ranks: append(simmpi.HostPlacement(4, 1), simmpi.PhiPlacement(machine.Phi0, 4, 1)...)}
+	}
+	// Each run measures healthy vs faulted virtual time for one
+	// operation and counts retransmissions from a local tracer.
+	run := func(op string, f func(cfg simmpi.Config, opts ...simmpi.Option) (vclock.Time, error)) (healthy, lossy vclock.Time, retries int64, err error) {
+		healthy, err = f(mixed(), simmpi.WithTracer(env.Tracer, "faultmpi:clean:"+op))
+		if err != nil {
+			return
+		}
+		tr := simtrace.New() // local tracer: the retry column reads its counters
+		lossy, err = f(mixed(), simmpi.WithTracer(tr, "faultmpi:lossy:"+op), simmpi.WithFaultPlan(plan))
+		retries = counterTotal(tr, "mpi_retries")
+		return
+	}
+	ops := []struct {
+		name string
+		f    func(cfg simmpi.Config, opts ...simmpi.Option) (vclock.Time, error)
+	}{
+		{"ring send/recv", func(cfg simmpi.Config, opts ...simmpi.Option) (vclock.Time, error) {
+			bw, err := simmpi.RingBandwidth(cfg, msg, iters, opts...)
+			if err != nil || bw <= 0 {
+				return 0, err
+			}
+			// Back out the per-lap time so every row is a duration.
+			return vclock.Time(float64(msg) / 1e9 / bw * float64(vclock.Second)), nil
+		}},
+		{"allreduce", func(cfg simmpi.Config, opts ...simmpi.Option) (vclock.Time, error) {
+			return simmpi.CollectiveTime(cfg, simmpi.AllreduceKind, msg, iters, opts...)
+		}},
+		{"alltoall", func(cfg simmpi.Config, opts ...simmpi.Option) (vclock.Time, error) {
+			return simmpi.CollectiveTime(cfg, simmpi.AlltoallKind, msg, iters, opts...)
+		}},
+	}
+	t := textplot.NewTable("op (64KB, host 4 + Phi 4)", "healthy", "lossy-pcie", "slowdown", "retries")
+	for _, op := range ops {
+		healthy, lossy, retries, err := run(op.name, op.f)
+		if err != nil {
+			return err
+		}
+		t.Row(op.name, healthy, lossy,
+			fmt.Sprintf("%.2fx", lossy.Seconds()/healthy.Seconds()), retries)
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "plan %s: %s\n", plan, plan.Note)
+	return err
+}
+
+// runExtFaultStraggler replays the Figure 23 adaptation on a genuinely
+// degraded machine: both Phis straggle, the static zone balance
+// overloads them, and a rebalance on measured per-rank speeds shifts
+// zones back to the host.
+func runExtFaultStraggler(w io.Writer, env Env) error {
+	plan := simfault.PhiStraggler()
+	cfg := overflow.SymmetricConfig{
+		HostCombo: overflow.Combo{Ranks: 16, Threads: 1},
+		PhiCombo:  overflow.Combo{Ranks: 8, Threads: 28},
+		Software:  pcie.PostUpdate,
+	}
+	healthy, err := overflow.SymmetricStepTime(env.Model, env.Node, cfg)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = plan
+	static, rebalanced, err := overflow.SymmetricStepRebalanced(env.Model, env.Node, cfg)
+	if err != nil {
+		return err
+	}
+	ratio := func(x vclock.Time) string {
+		return fmt.Sprintf("%.2fx", x.Seconds()/healthy.Seconds())
+	}
+	t := textplot.NewTable("configuration", "step time", "vs healthy")
+	t.Row("healthy, static balance", healthy, ratio(healthy))
+	t.Row("phi-straggler, static balance", static, ratio(static))
+	t.Row("phi-straggler, rebalanced", rebalanced, ratio(rebalanced))
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	recovered := 100 * (static - rebalanced).Seconds() / (static - healthy).Seconds()
+	_, err = fmt.Fprintf(w,
+		"rebalancing on measured speeds recovers %.0f%% of the straggler-induced slowdown (plan %s: %s)\n",
+		recovered, plan, plan.Note)
+	return err
+}
+
+// runExtFaultFailover offloads MG at a dead coprocessor: the engine
+// pays the detection deadline once, then diverts every invocation to
+// the host at its native MG rate. The run must complete without error —
+// that is the graceful-degradation contract.
+func runExtFaultFailover(w io.Writer, env Env) error {
+	plan := simfault.Phi0Down()
+	healthy, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, npb.OffloadSubroutine,
+		offload.WithTracer(env.Tracer, "offload:healthy"))
+	if err != nil {
+		return err
+	}
+	// The fallback rate comes from the repository's own MG numbers: how
+	// much slower the 16-core host runs MG than the 177-thread Phi the
+	// kernels were priced for.
+	host, err := npb.OMPTime(env.Model, npb.MG, npb.ClassC, machine.HostPartition(env.Node, 1))
+	if err != nil {
+		return err
+	}
+	phi, err := npb.OMPTime(env.Model, npb.MG, npb.ClassC,
+		machine.PhiThreadsPartition(env.Node, machine.Phi0, 177))
+	if err != nil {
+		return err
+	}
+	hostRate := host.Time.Seconds() / phi.Time.Seconds()
+	tr := simtrace.New() // local tracer: the fallback evidence reads its counters
+	degraded, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, npb.OffloadSubroutine,
+		offload.WithFaultPlan(plan),
+		offload.WithHostFallback(func(k vclock.Time) vclock.Time {
+			return vclock.Time(float64(k) * hostRate)
+		}),
+		offload.WithTracer(tr, "offload:failover"))
+	if err != nil {
+		return err // the fallback contract says this path is unreachable
+	}
+	t := textplot.NewTable("scenario", "time", "Gflop/s", "invocations", "fallbacks", "retries")
+	t.Row("healthy offload (subroutine)", healthy.Time, fmt.Sprintf("%.2f", healthy.Gflops),
+		healthy.Report.Invocations, healthy.Report.Fallbacks, healthy.Report.Retries)
+	t.Row("phi0-down, host fallback", degraded.Time, fmt.Sprintf("%.2f", degraded.Gflops),
+		degraded.Report.Invocations, degraded.Report.Fallbacks, degraded.Report.Retries)
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"plan %s: the dead card never errors the run — %d invocations divert to the host after one detection deadline\n",
+		plan, counterTotal(tr, "offload_fallbacks")); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w,
+		"the fallback outruns the healthy offload: no bytes cross PCIe, which is Figure 25's overhead story in reverse")
+	return err
+}

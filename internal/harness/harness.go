@@ -9,6 +9,7 @@ import (
 
 	"maia/internal/core"
 	"maia/internal/machine"
+	"maia/internal/simfault"
 	"maia/internal/simtrace"
 )
 
@@ -75,6 +76,11 @@ type Env struct {
 	// from every instrumented runtime an experiment touches. Nil (the
 	// default) disables tracing at zero cost.
 	Tracer *simtrace.Tracer
+	// Faults, when non-nil, is the fault plan every experiment threads
+	// into the runtimes it constructs, re-pricing the whole suite on the
+	// degraded machine. Nil (and the empty plan) reproduces the healthy
+	// system bit-for-bit.
+	Faults *simfault.Plan
 }
 
 // Option configures the Env built by DefaultEnv.
@@ -93,6 +99,12 @@ func WithTracer(t *simtrace.Tracer) Option {
 // WithModel substitutes the cost model.
 func WithModel(m core.Model) Option {
 	return func(env *Env) { env.Model = m }
+}
+
+// WithFaults injects a fault plan into every experiment's runtimes (nil
+// runs the healthy machine).
+func WithFaults(p *simfault.Plan) Option {
+	return func(env *Env) { env.Faults = p }
 }
 
 // DefaultEnv returns the calibrated environment, adjusted by opts.

@@ -32,7 +32,8 @@ func TestRegistryComplete(t *testing.T) {
 	for f := 4; f <= 27; f++ {
 		want = append(want, "fig"+itoa(f))
 	}
-	want = append(want, "report", "ext-offload-pipeline", "ext-checkpoint", "ext-profile", "ext-stride", "ext-tasks")
+	want = append(want, "report", "ext-offload-pipeline", "ext-checkpoint", "ext-profile", "ext-stride", "ext-tasks",
+		"ext-fault-fabric", "ext-fault-straggler", "ext-fault-failover")
 	for _, id := range want {
 		if _, ok := reg.ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)

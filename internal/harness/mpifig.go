@@ -70,21 +70,17 @@ func runFig10(w io.Writer, env Env) error {
 	t := textplot.NewTable("msg size", "host 16", "Phi 59(1t)", "Phi 118(2t)", "Phi 177(3t)", "Phi 236(4t)")
 	for _, m := range sizesUpTo(env, 1<<20) {
 		row := []interface{}{byteLabel(m)}
-		bw, err := simmpi.RingBandwidth(simmpi.Config{
-			Ranks:      simmpi.HostPlacement(16, 1),
-			Tracer:     env.Tracer,
-			TraceLabel: fmt.Sprintf("ring:host16[%s]", byteLabel(m)),
-		}, m, iters)
+		bw, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, m, iters,
+			simmpi.WithTracer(env.Tracer, fmt.Sprintf("ring:host16[%s]", byteLabel(m))),
+			simmpi.WithFaultPlan(env.Faults))
 		if err != nil {
 			return err
 		}
 		row = append(row, gbs(bw))
 		for _, c := range phiRingConfigs {
-			bw, err := simmpi.RingBandwidth(simmpi.Config{
-				Ranks:      simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc),
-				Tracer:     env.Tracer,
-				TraceLabel: fmt.Sprintf("ring:phi%dx%d[%s]", c.ranks, c.tpc, byteLabel(m)),
-			}, m, iters)
+			bw, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc)}, m, iters,
+				simmpi.WithTracer(env.Tracer, fmt.Sprintf("ring:phi%dx%d[%s]", c.ranks, c.tpc, byteLabel(m))),
+				simmpi.WithFaultPlan(env.Faults))
 			if err != nil {
 				return err
 			}
@@ -136,11 +132,9 @@ func runCollective(w io.Writer, env Env, kind simmpi.CollectiveKind, maxBytes in
 	t := textplot.NewTable(header...)
 	for _, m := range sizesUpTo(env, maxBytes) {
 		row := []interface{}{byteLabel(m)}
-		ht, err := simmpi.CollectiveTime(simmpi.Config{
-			Ranks:      simmpi.HostPlacement(16, 1),
-			Tracer:     env.Tracer,
-			TraceLabel: fmt.Sprintf("host16[%s]", byteLabel(m)),
-		}, kind, m, iters)
+		ht, err := simmpi.CollectiveTime(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, kind, m, iters,
+			simmpi.WithTracer(env.Tracer, fmt.Sprintf("host16[%s]", byteLabel(m))),
+			simmpi.WithFaultPlan(env.Faults))
 		if err != nil {
 			return err
 		}
@@ -150,11 +144,9 @@ func runCollective(w io.Writer, env Env, kind simmpi.CollectiveKind, maxBytes in
 				row = append(row, "OOM")
 				continue
 			}
-			pt, err := simmpi.CollectiveTime(simmpi.Config{
-				Ranks:      simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc),
-				Tracer:     env.Tracer,
-				TraceLabel: fmt.Sprintf("phi%dx%d[%s]", c.ranks, c.tpc, byteLabel(m)),
-			}, kind, m, iters)
+			pt, err := simmpi.CollectiveTime(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, c.ranks, c.tpc)}, kind, m, iters,
+				simmpi.WithTracer(env.Tracer, fmt.Sprintf("phi%dx%d[%s]", c.ranks, c.tpc, byteLabel(m))),
+				simmpi.WithFaultPlan(env.Faults))
 			if err != nil {
 				return err
 			}

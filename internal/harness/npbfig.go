@@ -184,7 +184,7 @@ func runFig25(w io.Writer, env Env) error {
 	}
 	for _, v := range npb.MGOffloadVariants() {
 		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v,
-			offload.WithTracer(env.Tracer, "offload:"+v.String()))
+			offload.WithTracer(env.Tracer, "offload:"+v.String()), offload.WithFaultPlan(env.Faults))
 		if err != nil {
 			return err
 		}
@@ -197,7 +197,7 @@ func runFig26(w io.Writer, env Env) error {
 	t := textplot.NewTable("variant", "host side", "PCIe", "Phi side", "total overhead")
 	for _, v := range npb.MGOffloadVariants() {
 		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v,
-			offload.WithTracer(env.Tracer, "offload:"+v.String()))
+			offload.WithTracer(env.Tracer, "offload:"+v.String()), offload.WithFaultPlan(env.Faults))
 		if err != nil {
 			return err
 		}
@@ -210,7 +210,7 @@ func runFig27(w io.Writer, env Env) error {
 	t := textplot.NewTable("variant", "invocations", "data in", "data out")
 	for _, v := range npb.MGOffloadVariants() {
 		r, err := npb.MGOffload(env.Model, npb.ClassC, env.Node, v,
-			offload.WithTracer(env.Tracer, "offload:"+v.String()))
+			offload.WithTracer(env.Tracer, "offload:"+v.String()), offload.WithFaultPlan(env.Faults))
 		if err != nil {
 			return err
 		}

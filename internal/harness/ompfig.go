@@ -45,10 +45,10 @@ func ompExperiments() []Experiment {
 }
 
 func runFig15(w io.Writer, env Env) error {
-	host := simomp.New(machine.HostPartition(env.Node, 1))
-	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
-	host.SetTracer(env.Tracer, "omp:host16")
-	phi.SetTracer(env.Tracer, "omp:phi236")
+	host := simomp.New(machine.HostPartition(env.Node, 1),
+		simomp.WithTracer(env.Tracer, "omp:host16"), simomp.WithFaultPlan(env.Faults))
+	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236),
+		simomp.WithTracer(env.Tracer, "omp:phi236"), simomp.WithFaultPlan(env.Faults))
 	t := textplot.NewTable("construct", "host (16t) us", "Phi0 (236t) us", "ratio")
 	for _, c := range simomp.Constructs() {
 		h := simomp.MeasureSyncOverhead(host, c).Microseconds()
@@ -59,10 +59,10 @@ func runFig15(w io.Writer, env Env) error {
 }
 
 func runFig16(w io.Writer, env Env) error {
-	host := simomp.New(machine.HostPartition(env.Node, 1))
-	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236))
-	host.SetTracer(env.Tracer, "omp:host16")
-	phi.SetTracer(env.Tracer, "omp:phi236")
+	host := simomp.New(machine.HostPartition(env.Node, 1),
+		simomp.WithTracer(env.Tracer, "omp:host16"), simomp.WithFaultPlan(env.Faults))
+	phi := simomp.New(machine.PhiThreadsPartition(env.Node, machine.Phi0, 236),
+		simomp.WithTracer(env.Tracer, "omp:phi236"), simomp.WithFaultPlan(env.Faults))
 	chunks := []int{1, 2, 4, 8, 16, 32, 64, 128}
 	if env.Quick {
 		chunks = []int{1, 8, 64}

@@ -112,5 +112,6 @@ func Paper() *Registry {
 	r.mustRegister(appExperiments()...)
 	r.mustRegister(reportExperiments()...)
 	r.mustRegister(extensionExperiments()...)
+	r.mustRegister(faultExperiments()...)
 	return r
 }

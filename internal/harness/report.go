@@ -50,6 +50,9 @@ func runReport(w io.Writer, env Env) error {
 
 	node := env.Node
 	m := env.Model
+	// Under a fault plan the report re-prices on the degraded machine;
+	// paper-range checks are then expected to flag the slowdowns.
+	faultOpt := simmpi.WithFaultPlan(env.Faults)
 
 	// --- Figure 4: STREAM shape.
 	cfg := memsim.DefaultStreamConfig()
@@ -77,15 +80,15 @@ func runReport(w io.Writer, env Env) error {
 		g1 >= 7 && g1 <= 13.5)
 
 	// --- Figure 10: threads/core vs MPI performance.
-	hostBW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, 64<<10, 2)
+	hostBW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.HostPlacement(16, 1)}, 64<<10, 2, faultOpt)
 	if err != nil {
 		return err
 	}
-	phi1BW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 59, 1)}, 64<<10, 2)
+	phi1BW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 59, 1)}, 64<<10, 2, faultOpt)
 	if err != nil {
 		return err
 	}
-	phi4BW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 236, 4)}, 64<<10, 2)
+	phi4BW, err := simmpi.RingBandwidth(simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 236, 4)}, 64<<10, 2, faultOpt)
 	if err != nil {
 		return err
 	}
@@ -95,11 +98,11 @@ func runReport(w io.Writer, env Env) error {
 
 	// --- Figure 13: the allgather jump.
 	agCfg := simmpi.Config{Ranks: simmpi.PhiPlacement(machine.Phi0, 64, 1)}
-	ag2, err := simmpi.CollectiveTime(agCfg, simmpi.AllgatherKind, 2048, 1)
+	ag2, err := simmpi.CollectiveTime(agCfg, simmpi.AllgatherKind, 2048, 1, faultOpt)
 	if err != nil {
 		return err
 	}
-	ag4, err := simmpi.CollectiveTime(agCfg, simmpi.AllgatherKind, 4096, 1)
+	ag4, err := simmpi.CollectiveTime(agCfg, simmpi.AllgatherKind, 4096, 1, faultOpt)
 	if err != nil {
 		return err
 	}
@@ -116,8 +119,8 @@ func runReport(w io.Writer, env Env) error {
 			!simmpi.AlltoallFeasible(machine.Phi0, node, 236, 8<<10))
 
 	// --- Figure 15: OpenMP overheads.
-	hostRT := simomp.New(machine.HostPartition(node, 1))
-	phiRT := simomp.New(machine.PhiThreadsPartition(node, machine.Phi0, 236))
+	hostRT := simomp.New(machine.HostPartition(node, 1), simomp.WithFaultPlan(env.Faults))
+	phiRT := simomp.New(machine.PhiThreadsPartition(node, machine.Phi0, 236), simomp.WithFaultPlan(env.Faults))
 	var ratios []float64
 	for _, c := range simomp.Constructs() {
 		ratios = append(ratios, simomp.MeasureSyncOverhead(phiRT, c).Seconds()/

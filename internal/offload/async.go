@@ -34,14 +34,40 @@ func (e *Engine) OffloadPipelined(chunks int, inBytes, outBytes int64,
 	if kernelTime < 0 {
 		return 0, fmt.Errorf("offload: negative kernel time %v", kernelTime)
 	}
+	if e.faults.Failed(e.target(), e.clock.Now()) {
+		// The coprocessor is gone: no pipeline to run. Every chunk
+		// completes on the host, serially.
+		start := e.clock.Now()
+		for k := 0; k < chunks; k++ {
+			var b func()
+			if body != nil {
+				kk := k
+				b = func() { body(kk) }
+			}
+			if _, err := e.fallbackOffload(inBytes, outBytes, kernelTime, b); err != nil {
+				return 0, err
+			}
+		}
+		return e.clock.Now() - start, nil
+	}
 
 	// Per-chunk stage costs. Host-side marshalling gates the inbound
-	// DMA; Phi-side scatter gates the kernel start.
-	inT := e.transferTime(inBytes) + e.cfg.HostSetup +
+	// DMA; Phi-side scatter gates the kernel start. An active fault plan
+	// derates the DMA legs of the pipeline.
+	inDMA := e.transferTime(inBytes)
+	outDMA := e.transferTime(outBytes)
+	if e.fabric != nil {
+		if inBytes > 0 {
+			inDMA = e.fabric.FlightTime(inDMA)
+		}
+		if outBytes > 0 {
+			outDMA = e.fabric.FlightTime(outDMA)
+		}
+	}
+	inT := inDMA + e.cfg.HostSetup +
 		vclock.Time(float64(inBytes)/(e.cfg.HostCopyGBs*1e9))
 	phiSide := e.cfg.PhiSetup + vclock.Time(float64(inBytes+outBytes)/(e.cfg.PhiCopyGBs*1e9))
-	kernelT := kernelTime + phiSide
-	outT := e.transferTime(outBytes) +
+	outT := outDMA +
 		vclock.Time(float64(outBytes)/(e.cfg.HostCopyGBs*1e9))
 
 	base := e.clock.Now()
@@ -50,21 +76,53 @@ func (e *Engine) OffloadPipelined(chunks int, inBytes, outBytes int64,
 		if body != nil {
 			body(k)
 		}
-		inDone += inT // DMA engine is serial across chunks
+		seq := e.invSeq
+		e.invSeq++
+
+		// Seeded drops stall this chunk's DMA legs before the successful
+		// flight; the stall is charged to the serial DMA engine.
+		var inPen, outPen vclock.Time
+		chunkRetries := 0
+		if e.fabric != nil {
+			if a := e.faults.Attempts(*e.fabric, 0, 1, seq); a > 1 && inBytes > 0 {
+				inPen = e.fabric.RetryPenalty(a)
+				chunkRetries += a - 1
+			}
+			if a := e.faults.Attempts(*e.fabric, 1, 0, seq); a > 1 && outBytes > 0 {
+				outPen = e.fabric.RetryPenalty(a)
+				chunkRetries += a - 1
+			}
+			e.report.Retries += chunkRetries
+		}
+
+		inDone += inPen + inT // DMA engine is serial across chunks
 		start := vclock.Max(inDone, kernelDone)
+		// The kernel may stretch through a throttle window on the Phi.
+		kernelT := e.faults.ComputeTime(e.target(), base+start, kernelTime) + phiSide
 		kernelDone = start + kernelT
 		outStart := vclock.Max(kernelDone, outDone)
-		outDone = outStart + outT
+		outDone = outStart + outPen + outT
 
 		if e.tracer != nil {
 			// The three pipeline stages overlap, so each gets its own
 			// sub-track; span times are absolute on the engine timeline.
+			if inPen > 0 {
+				e.tracer.Span(e.track+"/h2d", simtrace.CatFault, "retry[pcie:"+e.cfg.Path.String()+"]",
+					base+inDone-inT-inPen, base+inDone-inT, inBytes)
+			}
 			e.tracer.Span(e.track+"/h2d", simtrace.CatPCIe, "dma:h2d",
 				base+inDone-inT, base+inDone, inBytes)
 			e.tracer.Span(e.track+"/kernel", simtrace.CatCompute, "kernel",
 				base+start, base+kernelDone, 0)
+			if outPen > 0 {
+				e.tracer.Span(e.track+"/d2h", simtrace.CatFault, "retry[pcie:"+e.cfg.Path.String()+"]",
+					base+outStart, base+outStart+outPen, outBytes)
+			}
 			e.tracer.Span(e.track+"/d2h", simtrace.CatPCIe, "dma:d2h",
-				base+outStart, base+outDone, outBytes)
+				base+outStart+outPen, base+outDone, outBytes)
+			if chunkRetries > 0 {
+				e.tracer.Count(simtrace.CatFault, "offload_retries", int64(chunkRetries))
+			}
 			e.traceCounts(inBytes, outBytes)
 		}
 
@@ -73,13 +131,11 @@ func (e *Engine) OffloadPipelined(chunks int, inBytes, outBytes int64,
 		e.report.BytesOut += outBytes
 		e.report.HostTime += e.cfg.HostSetup +
 			vclock.Time(float64(inBytes+outBytes)/(e.cfg.HostCopyGBs*1e9))
-		e.report.TransferTime += e.transferTime(inBytes) + e.transferTime(outBytes)
+		e.report.TransferTime += inDMA + outDMA + inPen + outPen
 		e.report.PhiTime += phiSide
-		e.report.KernelTime += kernelTime
+		e.report.KernelTime += kernelT - phiSide
 	}
-	if e.tracer != nil {
-		e.clock.AdvanceTo(base + outDone)
-	}
+	e.clock.AdvanceTo(base + outDone)
 	return outDone, nil
 }
 

@@ -21,7 +21,9 @@ package offload
 import (
 	"fmt"
 
+	"maia/internal/machine"
 	"maia/internal/pcie"
+	"maia/internal/simfault"
 	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
@@ -62,9 +64,17 @@ type Report struct {
 	BytesOut    int64 // Phi -> host
 
 	HostTime     vclock.Time // setup + gather/scatter on the host
-	TransferTime vclock.Time // PCIe DMA, both directions
+	TransferTime vclock.Time // PCIe DMA, both directions, incl. retry stalls
 	PhiTime      vclock.Time // setup + gather/scatter on the Phi
 	KernelTime   vclock.Time // useful work on the coprocessor
+
+	// Degradation ledger, populated only when a fault plan injects
+	// something (see package simfault): DMA retransmissions after seeded
+	// drops, invocations completed on the host because the target
+	// coprocessor failed, and the host time those fallback kernels took.
+	Retries      int
+	Fallbacks    int
+	FallbackTime vclock.Time
 }
 
 // Overhead returns the total non-kernel time.
@@ -72,8 +82,9 @@ func (r Report) Overhead() vclock.Time {
 	return r.HostTime + r.TransferTime + r.PhiTime
 }
 
-// Total returns overhead plus kernel time.
-func (r Report) Total() vclock.Time { return r.Overhead() + r.KernelTime }
+// Total returns overhead plus kernel time (host-fallback kernels
+// included).
+func (r Report) Total() vclock.Time { return r.Overhead() + r.KernelTime + r.FallbackTime }
 
 // String summarizes the ledger in an OFFLOAD_REPORT-like line.
 func (r Report) String() string {
@@ -88,10 +99,23 @@ type Engine struct {
 	report Report
 
 	// Tracing state: tracer is nil when tracing is off; clock is the
-	// engine's trace timeline, advanced by each traced invocation.
+	// engine's virtual timeline, advanced by every invocation (traced or
+	// not) so time-dependent faults see when each offload dispatches.
 	tracer *simtrace.Tracer
 	track  string
 	clock  vclock.Clock
+
+	// Fault state: faults is the active plan (nil-safe); fabric is the
+	// plan's entry for this engine's PCIe path, resolved once; fallback
+	// converts a kernel's Phi time to host time when the target has
+	// failed; invSeq numbers invocations for seeded drop decisions;
+	// probed records that the dead target was already discovered (the
+	// detection deadline is paid once, not per invocation).
+	faults   *simfault.Plan
+	fabric   *simfault.FabricFault
+	fallback func(vclock.Time) vclock.Time
+	invSeq   int
+	probed   bool
 }
 
 // EngineOption configures an Engine at construction.
@@ -102,6 +126,38 @@ type EngineOption func(*Engine)
 // off.
 func WithTracer(t *simtrace.Tracer, track string) EngineOption {
 	return func(e *Engine) { e.SetTracer(t, track) }
+}
+
+// WithFaultPlan returns an option pricing the engine's offloads on the
+// degraded machine the plan describes: lossy or derated PCIe DMA,
+// throttled kernels, and whole-coprocessor failure (handled by falling
+// back to the host). A nil or empty plan changes nothing.
+func WithFaultPlan(p *simfault.Plan) EngineOption {
+	return func(e *Engine) {
+		e.faults = p
+		e.fabric = nil
+		if f, ok := p.Fabric("pcie:" + e.cfg.Path.String()); ok {
+			e.fabric = &f
+		}
+	}
+}
+
+// WithHostFallback returns an option supplying the execution model for
+// kernels that complete on the host after their target coprocessor
+// failed: convert maps a kernel's nominal Phi execution time to its
+// host execution time. Without this option fallback kernels are priced
+// at Phi speed, a conservative stand-in.
+func WithHostFallback(convert func(phiKernel vclock.Time) vclock.Time) EngineOption {
+	return func(e *Engine) { e.fallback = convert }
+}
+
+// target returns the coprocessor this engine dispatches to: the remote
+// end of its PCIe path.
+func (e *Engine) target() machine.Device {
+	if e.cfg.Path == pcie.HostPhi0 {
+		return machine.Phi0
+	}
+	return machine.Phi1
 }
 
 // NewEngine returns an engine with the given configuration.
@@ -121,14 +177,34 @@ func (e *Engine) SetTracer(t *simtrace.Tracer, track string) {
 	e.track = track
 }
 
-// traceStage lays one stage of a synchronous offload onto the engine's
-// trace timeline. Callers must have checked e.tracer != nil.
-func (e *Engine) traceStage(name string, cat simtrace.Category, d vclock.Time, bytes int64) {
+// stage charges one stage of a synchronous offload to the engine's
+// virtual timeline and, when tracing is on, lays it onto the trace
+// track. The clock always advances so failure times ("Phi0 dead from
+// t=2ms") land correctly even in untraced runs.
+func (e *Engine) stage(name string, cat simtrace.Category, d vclock.Time, bytes int64) {
 	t0 := e.clock.Now()
 	if d > 0 {
 		e.clock.Advance(d)
 	}
-	e.tracer.Span(e.track, cat, name, t0, e.clock.Now(), bytes)
+	if e.tracer != nil {
+		e.tracer.Span(e.track, cat, name, t0, e.clock.Now(), bytes)
+	}
+}
+
+// retryStage charges the timeout-and-backoff stall of a dropped DMA
+// transfer and records it in the fault ledger and trace. It returns
+// immediately for the common healthy case.
+func (e *Engine) retryStage(attempts int, bytes int64) {
+	if attempts <= 1 || e.fabric == nil {
+		return
+	}
+	penalty := e.fabric.RetryPenalty(attempts)
+	e.stage("retry[pcie:"+e.cfg.Path.String()+"]", simtrace.CatFault, penalty, bytes)
+	if e.tracer != nil {
+		e.tracer.Count(simtrace.CatFault, "offload_retries", int64(attempts-1))
+	}
+	e.report.Retries += attempts - 1
+	e.report.TransferTime += penalty
 }
 
 // traceCounts bumps the per-invocation offload counters.
@@ -149,6 +225,12 @@ func (e *Engine) ResetReport() { e.report = Report{} }
 // really executes (so offloaded NPB kernels compute genuine results).
 // The return value is the invocation's total virtual time as seen by the
 // host program, which blocks for the duration (synchronous offload).
+//
+// Under a fault plan the invocation prices the degraded machine: DMA is
+// derated and may stall on seeded drops, the kernel stretches through
+// throttle windows, and a failed target coprocessor diverts the whole
+// invocation to the host (see fallbackOffload) — the run still
+// completes without error.
 func (e *Engine) Offload(inBytes, outBytes int64, kernelTime vclock.Time, body func()) (vclock.Time, error) {
 	if inBytes < 0 || outBytes < 0 {
 		return 0, fmt.Errorf("offload: negative transfer size (%d in, %d out)", inBytes, outBytes)
@@ -156,27 +238,46 @@ func (e *Engine) Offload(inBytes, outBytes int64, kernelTime vclock.Time, body f
 	if kernelTime < 0 {
 		return 0, fmt.Errorf("offload: negative kernel time %v", kernelTime)
 	}
+	if e.faults.Failed(e.target(), e.clock.Now()) {
+		return e.fallbackOffload(inBytes, outBytes, kernelTime, body)
+	}
 	if body != nil {
 		body()
 	}
+	seq := e.invSeq
+	e.invSeq++
 
 	bytes := inBytes + outBytes
 	host := e.cfg.HostSetup + vclock.Time(float64(bytes)/(e.cfg.HostCopyGBs*1e9))
 	phi := e.cfg.PhiSetup + vclock.Time(float64(bytes)/(e.cfg.PhiCopyGBs*1e9))
 	inT := e.transferTime(inBytes)
 	outT := e.transferTime(outBytes)
-	transfer := inT + outT
-
-	if e.tracer != nil {
-		e.traceStage("marshal:host", simtrace.CatOffload, host, bytes)
+	inAttempts, outAttempts := 1, 1
+	if e.fabric != nil {
 		if inBytes > 0 {
-			e.traceStage("dma:h2d", simtrace.CatPCIe, inT, inBytes)
+			inT = e.fabric.FlightTime(inT)
+			inAttempts = e.faults.Attempts(*e.fabric, 0, 1, seq)
 		}
-		e.traceStage("scatter:phi", simtrace.CatOffload, phi, bytes)
-		e.traceStage("kernel", simtrace.CatCompute, kernelTime, 0)
 		if outBytes > 0 {
-			e.traceStage("dma:d2h", simtrace.CatPCIe, outT, outBytes)
+			outT = e.fabric.FlightTime(outT)
+			outAttempts = e.faults.Attempts(*e.fabric, 1, 0, seq)
 		}
+	}
+
+	start := e.clock.Now()
+	e.stage("marshal:host", simtrace.CatOffload, host, bytes)
+	if inBytes > 0 {
+		e.retryStage(inAttempts, inBytes)
+		e.stage("dma:h2d", simtrace.CatPCIe, inT, inBytes)
+	}
+	e.stage("scatter:phi", simtrace.CatOffload, phi, bytes)
+	kernel := e.faults.ComputeTime(e.target(), e.clock.Now(), kernelTime)
+	e.stage("kernel", simtrace.CatCompute, kernel, 0)
+	if outBytes > 0 {
+		e.retryStage(outAttempts, outBytes)
+		e.stage("dma:d2h", simtrace.CatPCIe, outT, outBytes)
+	}
+	if e.tracer != nil {
 		e.traceCounts(inBytes, outBytes)
 	}
 
@@ -184,11 +285,54 @@ func (e *Engine) Offload(inBytes, outBytes int64, kernelTime vclock.Time, body f
 	e.report.BytesIn += inBytes
 	e.report.BytesOut += outBytes
 	e.report.HostTime += host
-	e.report.TransferTime += transfer
+	e.report.TransferTime += inT + outT
 	e.report.PhiTime += phi
-	e.report.KernelTime += kernelTime
+	e.report.KernelTime += kernel
 
-	return host + transfer + phi + kernelTime, nil
+	return e.clock.Now() - start, nil
+}
+
+// fallbackOffload completes an invocation whose target coprocessor is
+// failed. The first dispatch against the dead card pays the full
+// detection deadline — every probe retransmission times out — after
+// which the engine remembers the card is gone and dispatches straight
+// to the host. The body still runs, so offloaded kernels keep computing
+// genuine results; no PCIe or Phi-side costs are charged.
+func (e *Engine) fallbackOffload(inBytes, outBytes int64, kernelTime vclock.Time, body func()) (vclock.Time, error) {
+	if body != nil {
+		body()
+	}
+	start := e.clock.Now()
+	if !e.probed {
+		e.probed = true
+		f, ok := e.faults.Fabric("pcie:" + e.cfg.Path.String())
+		if !ok {
+			f = simfault.FabricFault{}
+		}
+		e.stage("probe[dead "+e.target().String()+"]", simtrace.CatFault, f.DetectionPenalty(), 0)
+		if e.tracer != nil {
+			e.tracer.Count(simtrace.CatFault, "offload_retries", int64(f.DetectionRetries()))
+		}
+		e.report.Retries += f.DetectionRetries()
+		// The host blocks on the probe, so the deadline is host time.
+		e.report.HostTime += f.DetectionPenalty()
+	}
+	kernel := kernelTime
+	if e.fallback != nil {
+		kernel = e.fallback(kernelTime)
+	}
+	// The host may itself be degraded (straggler or throttle entries).
+	kernel = e.faults.ComputeTime(machine.Host, e.clock.Now(), kernel)
+	e.stage("dispatch:host", simtrace.CatOffload, e.cfg.HostSetup, inBytes+outBytes)
+	e.stage("kernel[host-fallback]", simtrace.CatCompute, kernel, 0)
+	if e.tracer != nil {
+		e.tracer.Count(simtrace.CatFault, "offload_fallbacks", 1)
+	}
+	e.report.Invocations++
+	e.report.Fallbacks++
+	e.report.HostTime += e.cfg.HostSetup
+	e.report.FallbackTime += kernel
+	return e.clock.Now() - start, nil
 }
 
 // pcieTransfer prices one DMA transfer under a config.

@@ -14,11 +14,11 @@ import (
 // RingBandwidth runs the Figure 10 benchmark: every rank sends a message
 // to its right neighbor and receives one from its left neighbor, for
 // iters iterations. It returns the per-rank bandwidth in GB/s.
-func RingBandwidth(cfg Config, msgBytes, iters int) (float64, error) {
+func RingBandwidth(cfg Config, msgBytes, iters int, opts ...Option) (float64, error) {
 	// The benchmark never reads payload contents, so the transport can
 	// run in size-only mode; the measured virtual times are unchanged.
 	cfg.SizeOnlyPayloads = true
-	w, err := NewWorld(cfg)
+	w, err := NewWorld(cfg, opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -74,11 +74,11 @@ func (k CollectiveKind) String() string {
 // CollectiveTime measures the average virtual time of one collective
 // operation at the given message size (per-rank payload, as in IMB),
 // averaged over iters repetitions.
-func CollectiveTime(cfg Config, kind CollectiveKind, msgBytes, iters int) (vclock.Time, error) {
+func CollectiveTime(cfg Config, kind CollectiveKind, msgBytes, iters int, opts ...Option) (vclock.Time, error) {
 	// Collective results are recycled unread (only virtual time is
 	// measured), so size-only transport applies here too.
 	cfg.SizeOnlyPayloads = true
-	w, err := NewWorld(cfg)
+	w, err := NewWorld(cfg, opts...)
 	if err != nil {
 		return 0, err
 	}

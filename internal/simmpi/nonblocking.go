@@ -68,6 +68,12 @@ func Waitall(reqs []*Request) [][]byte {
 // recvAt is recv with an explicit post time: the rendezvous (or eager
 // arrival) is gated by when the receive was POSTED, so computation
 // between Irecv and Wait overlaps the transfer.
+//
+// On a faulted fabric the delivery runs under a virtual-time deadline:
+// each seeded drop costs the timeout plus an exponentially growing
+// backoff before the retransmission, and the (derated) successful
+// flight lands after the accumulated penalty. Everything is charged to
+// the receiver's virtual clock — wall-clock behavior is unchanged.
 func (r *Rank) recvAt(src, tag int, post vclock.Time) []byte {
 	w := r.w
 	box := w.boxes[r.id]
@@ -99,6 +105,18 @@ func (r *Rank) recvAt(src, tag int, post vclock.Time) []byte {
 	start := msg.sendTime
 	if rendezvous {
 		start = vclock.Max(msg.sendTime, post)
+	}
+	if f := w.fabricFault(src, r.id); f != nil {
+		flight = f.FlightTime(flight)
+		if attempts := w.cfg.Faults.Attempts(*f, src, r.id, msg.seq); attempts > 1 {
+			penalty := f.RetryPenalty(attempts)
+			if r.tracer != nil {
+				r.tracer.Span(r.track, simtrace.CatFault, "retry["+w.fabricName(src, r.id)+"]",
+					start, start+penalty, int64(len(msg.data)))
+				r.tracer.Count(simtrace.CatFault, "mpi_retries", int64(attempts-1))
+			}
+			start += penalty
+		}
 	}
 	done := start + flight
 	r.clock.AdvanceTo(done)

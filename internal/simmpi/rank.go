@@ -22,6 +22,11 @@ type Rank struct {
 	prof   RankProfile
 	inColl bool
 
+	// sendSeq numbers this rank's sends in program order; together with
+	// (src, dst) it identifies a message for the fault plan's seeded
+	// drop decisions, independent of goroutine interleaving.
+	sendSeq int
+
 	// Tracing state: tracer is nil when tracing is off (every hook is
 	// then a no-op); track is the precomputed tracer track name;
 	// collAlgo is the algorithm chosen by the outermost running
@@ -46,9 +51,16 @@ func (r *Rank) Device() machine.Device { return r.w.cfg.Ranks[r.id].Device }
 // Now returns the rank's current virtual time.
 func (r *Rank) Now() vclock.Time { return r.clock.Now() }
 
-// Compute charges local computation time to the rank's clock.
+// Compute charges local computation time to the rank's clock. Under a
+// fault plan the nominal duration is first degraded by the device's
+// straggler factor and any thermal-throttle window the work falls into,
+// so profiles and traces report the time the degraded machine actually
+// spent.
 func (r *Rank) Compute(t vclock.Time) {
 	t0 := r.clock.Now()
+	if plan := r.w.cfg.Faults; plan != nil {
+		t = plan.ComputeTime(r.w.cfg.Ranks[r.id].Device, t0, t)
+	}
 	r.clock.Advance(t)
 	r.prof.Compute += t
 	if r.tracer != nil {
@@ -98,9 +110,11 @@ func (r *Rank) send(dst, tag int, data []byte) {
 	if !r.w.cfg.SizeOnlyPayloads {
 		copy(buf, data)
 	}
+	seq := r.sendSeq
+	r.sendSeq++
 	box := r.w.boxes[dst]
 	box.mu.Lock()
-	box.bySrc[r.id] = append(box.bySrc[r.id], message{tag: tag, data: buf, sendTime: tsPost})
+	box.bySrc[r.id] = append(box.bySrc[r.id], message{tag: tag, data: buf, sendTime: tsPost, seq: seq})
 	box.cond.Signal()
 	box.mu.Unlock()
 }

@@ -27,6 +27,7 @@ import (
 
 	"maia/internal/machine"
 	"maia/internal/pcie"
+	"maia/internal/simfault"
 	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
@@ -80,6 +81,42 @@ type Config struct {
 	// content-preserving run. Communication-pattern scripts (the NPB MPI
 	// driver, the IMB-style micro-benchmarks) run in this mode.
 	SizeOnlyPayloads bool
+	// Faults, when non-nil, is the deterministic fault plan the world
+	// runs under: straggler/throttle compute derating and lossy-fabric
+	// flight derating with virtual-time delivery deadlines, retransmits,
+	// and exponential backoff. All waiting is charged to the virtual
+	// clock, never wall clock. Nil (or an empty plan) is the healthy
+	// machine and leaves every modeled number bit-identical.
+	Faults *simfault.Plan
+}
+
+// Option adjusts a Config at world construction. Options are the one
+// idiom for attaching cross-cutting concerns (tracing, fault plans, the
+// PCIe software stack) across the simulated runtimes: simmpi.NewWorld,
+// simomp.New, offload.NewEngine, and harness.DefaultEnv all accept the
+// same shape.
+type Option func(*Config)
+
+// WithTracer attaches a simtrace tracer, with the track-name prefix the
+// world's per-rank tracks appear under ("label/rank3"). A nil tracer
+// leaves tracing off at zero cost.
+func WithTracer(t *simtrace.Tracer, label string) Option {
+	return func(c *Config) {
+		c.Tracer = t
+		c.TraceLabel = label
+	}
+}
+
+// WithFaultPlan runs the world under a deterministic fault plan. A nil
+// plan injects nothing.
+func WithFaultPlan(p *simfault.Plan) Option {
+	return func(c *Config) { c.Faults = p }
+}
+
+// WithStack selects the PCIe software environment for cross-device
+// messages.
+func WithStack(s *pcie.Stack) Option {
+	return func(c *Config) { c.Stack = s }
 }
 
 // HostPlacement places n ranks on the host at the given threads per core.
@@ -139,6 +176,9 @@ type message struct {
 	data []byte
 	// sendTime is the sender's virtual clock when the send was posted.
 	sendTime vclock.Time
+	// seq is the sender's program-order send number, identifying the
+	// message for seeded fault decisions.
+	seq int
 }
 
 // mailbox is one rank's incoming-message store: a FIFO queue per source.
@@ -170,10 +210,18 @@ type World struct {
 	// tracks holds the precomputed per-rank tracer track names; nil
 	// when tracing is off.
 	tracks []string
+
+	// faults caches the per-(src,dst) fabric fault (nil entries mean a
+	// healthy pair); nil when the plan degrades no fabric, so the hot
+	// path pays one nil check.
+	faults []*simfault.FabricFault
 }
 
-// NewWorld validates cfg and builds a world.
-func NewWorld(cfg Config) (*World, error) {
+// NewWorld validates cfg, applies opts, and builds a world.
+func NewWorld(cfg Config, opts ...Option) (*World, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if len(cfg.Ranks) == 0 {
 		return nil, fmt.Errorf("simmpi: empty world")
 	}
@@ -214,7 +262,33 @@ func NewWorld(cfg Config) (*World, error) {
 			}
 		}
 	}
+	if cfg.Faults != nil && len(cfg.Faults.Fabrics) > 0 {
+		// Resolve each rank pair's fabric fault once, up front: the
+		// receive path then pays a slice load instead of a string match
+		// per message.
+		w.faults = make([]*simfault.FabricFault, w.size*w.size)
+		for a := 0; a < w.size; a++ {
+			for b := 0; b < w.size; b++ {
+				if a == b {
+					continue
+				}
+				if f, ok := cfg.Faults.Fabric(w.fabricName(a, b)); ok {
+					fv := f
+					w.faults[a*w.size+b] = &fv
+				}
+			}
+		}
+	}
 	return w, nil
+}
+
+// fabricFault returns the fault entry degrading messages from rank a to
+// rank b, or nil for a healthy pair.
+func (w *World) fabricFault(a, b int) *simfault.FabricFault {
+	if w.faults == nil {
+		return nil
+	}
+	return w.faults[a*w.size+b]
 }
 
 // Size returns the number of ranks.

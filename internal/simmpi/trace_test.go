@@ -15,13 +15,9 @@ import (
 // actually chosen.
 func TestTraceCollectiveConsistency(t *testing.T) {
 	tr := simtrace.New()
-	cfg := Config{
-		Ranks:      HostPlacement(16, 1),
-		Tracer:     tr,
-		TraceLabel: "host16",
-	}
+	cfg := Config{Ranks: HostPlacement(16, 1)}
 	const iters = 2
-	tt, err := CollectiveTime(cfg, AllgatherKind, 1024, iters)
+	tt, err := CollectiveTime(cfg, AllgatherKind, 1024, iters, WithTracer(tr, "host16"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,8 +96,8 @@ func closeTo(a, b vclock.Time) bool {
 // and cross-fabric flights are named by the fabric they ride.
 func TestTraceAlgorithmAndFabricNames(t *testing.T) {
 	tr := simtrace.New()
-	cfg := Config{Ranks: PhiPlacement(machine.Phi0, 6, 1), Tracer: tr}
-	if _, err := CollectiveTime(cfg, AllgatherKind, 256, 1); err != nil {
+	cfg := Config{Ranks: PhiPlacement(machine.Phi0, 6, 1)}
+	if _, err := CollectiveTime(cfg, AllgatherKind, 256, 1, WithTracer(tr, "")); err != nil {
 		t.Fatal(err)
 	}
 	names := map[string]bool{}
@@ -117,13 +113,10 @@ func TestTraceAlgorithmAndFabricNames(t *testing.T) {
 
 	// Cross-device world: host rank 0, Phi0 rank 1.
 	tr2 := simtrace.New()
-	w, err := NewWorld(Config{
-		Ranks: []Location{
-			{Device: machine.Host, ThreadsPerCore: 1},
-			{Device: machine.Phi0, ThreadsPerCore: 1},
-		},
-		Tracer: tr2,
-	})
+	w, err := NewWorld(Config{Ranks: []Location{
+		{Device: machine.Host, ThreadsPerCore: 1},
+		{Device: machine.Phi0, ThreadsPerCore: 1},
+	}}, WithTracer(tr2, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +144,7 @@ func TestTraceAlgorithmAndFabricNames(t *testing.T) {
 // Barrier bumps the barrier counter and names its algorithm.
 func TestTraceBarrier(t *testing.T) {
 	tr := simtrace.New()
-	w, err := NewWorld(Config{Ranks: HostPlacement(4, 1), Tracer: tr})
+	w, err := NewWorld(Config{Ranks: HostPlacement(4, 1)}, WithTracer(tr, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +176,8 @@ func TestTraceBarrier(t *testing.T) {
 // never perturbs.
 func TestTracingDoesNotPerturbVirtualTime(t *testing.T) {
 	run := func(tr *simtrace.Tracer) vclock.Time {
-		cfg := Config{Ranks: PhiPlacement(machine.Phi0, 8, 2), Tracer: tr}
-		tt, err := CollectiveTime(cfg, AlltoallKind, 2048, 3)
+		cfg := Config{Ranks: PhiPlacement(machine.Phi0, 8, 2)}
+		tt, err := CollectiveTime(cfg, AlltoallKind, 2048, 3, WithTracer(tr, ""))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +208,7 @@ func benchSendPath(b *testing.B, tr *simtrace.Tracer) {
 	b.ReportAllocs()
 	payload := make([]byte, 1024)
 	for i := 0; i < b.N; i++ {
-		w, err := NewWorld(Config{Ranks: HostPlacement(2, 1), Tracer: tr})
+		w, err := NewWorld(Config{Ranks: HostPlacement(2, 1)}, WithTracer(tr, ""))
 		if err != nil {
 			b.Fatal(err)
 		}

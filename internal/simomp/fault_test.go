@@ -1,0 +1,66 @@
+package simomp
+
+import (
+	"testing"
+
+	"maia/internal/machine"
+	"maia/internal/simfault"
+	"maia/internal/vclock"
+)
+
+// A nil plan and an empty plan leave every construct cost untouched.
+func TestFaultEmptyPlanIdentical(t *testing.T) {
+	node := machine.NewNode()
+	part := machine.PhiThreadsPartition(node, machine.Phi0, 236)
+	clean := New(part)
+	empty := New(part, WithFaultPlan(nil))
+	zero := New(part, WithFaultPlan(&simfault.Plan{}))
+	for _, c := range Constructs() {
+		want := clean.SyncOverhead(c)
+		if got := empty.SyncOverhead(c); got != want {
+			t.Errorf("%v: nil plan changed overhead %v -> %v", c, want, got)
+		}
+		if got := zero.SyncOverhead(c); got != want {
+			t.Errorf("%v: empty plan changed overhead %v -> %v", c, want, got)
+		}
+	}
+}
+
+// A straggler entry for the runtime's device stretches construct
+// overheads and loop spans by its factor; other devices are untouched.
+func TestFaultStragglerScalesConstructs(t *testing.T) {
+	node := machine.NewNode()
+	plan := simfault.PhiStraggler() // both Phis 1.8x
+	phiPart := machine.PhiThreadsPartition(node, machine.Phi0, 236)
+	hostPart := machine.HostPartition(node, 1)
+
+	phiClean, phiSlow := New(phiPart), New(phiPart, WithFaultPlan(plan))
+	for _, c := range Constructs() {
+		want := vclock.Time(float64(phiClean.SyncOverhead(c)) * 1.8)
+		if got := phiSlow.SyncOverhead(c); !closeEnough(got, want) {
+			t.Errorf("%v: straggler overhead %v, want %v", c, got, want)
+		}
+	}
+	hostClean, hostSlow := New(hostPart), New(hostPart, WithFaultPlan(plan))
+	for _, c := range Constructs() {
+		if hostClean.SyncOverhead(c) != hostSlow.SyncOverhead(c) {
+			t.Errorf("%v: Phi straggler plan touched the host runtime", c)
+		}
+	}
+
+	// Loop bodies stretch too: a static loop's span is iteration work, so
+	// the whole loop scales by the straggler factor.
+	cleanLoop := NewTeam(phiClean).For(10000, ForOpts{Sched: Static, IterCost: vclock.Microsecond}, nil)
+	slowLoop := NewTeam(phiSlow).For(10000, ForOpts{Sched: Static, IterCost: vclock.Microsecond}, nil)
+	if want := vclock.Time(float64(cleanLoop) * 1.8); !closeEnough(slowLoop, want) {
+		t.Errorf("straggler loop %v, want %v", slowLoop, want)
+	}
+}
+
+func closeEnough(a, b vclock.Time) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= b*1e-12
+}

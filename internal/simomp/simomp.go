@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"maia/internal/machine"
+	"maia/internal/simfault"
 	"maia/internal/simtrace"
 	"maia/internal/vclock"
 )
@@ -176,6 +177,10 @@ type Runtime struct {
 	part  machine.Partition
 	table overheadTable
 
+	// slow is the fault plan's steady compute slowdown for this
+	// partition's device (1 on the healthy machine).
+	slow float64
+
 	// Tracing state: tracer is nil when tracing is off; clock is the
 	// runtime's trace timeline, advanced by each traced construct so
 	// spans lay out sequentially on the track.
@@ -184,24 +189,58 @@ type Runtime struct {
 	clock  vclock.Clock
 }
 
+// Option configures a Runtime at construction.
+type Option func(*Runtime)
+
+// WithTracer returns an option attaching a tracer to the runtime:
+// subsequent team constructs emit omp-category spans on the given
+// track, laid out back-to-back on the runtime's own trace timeline. A
+// nil tracer leaves tracing off.
+func WithTracer(t *simtrace.Tracer, track string) Option {
+	return func(r *Runtime) { r.setTracer(t, track) }
+}
+
+// WithFaultPlan returns an option pricing the runtime's constructs on
+// the degraded machine the plan describes. OpenMP regions are priced in
+// relative time (no absolute timeline), so the steady per-device
+// slowdown — straggler entries — is the fault model that applies here;
+// time-anchored throttle windows and failures are handled by the
+// runtimes that keep an absolute clock (simmpi, offload). A nil or
+// empty plan changes nothing.
+func WithFaultPlan(p *simfault.Plan) Option {
+	return func(r *Runtime) { r.slow = p.Slowdown(r.part.Device) }
+}
+
 // New returns the runtime for a partition.
-func New(part machine.Partition) *Runtime {
+func New(part machine.Partition, opts ...Option) *Runtime {
 	t := hostTable
 	if part.Device.IsPhi() {
 		t = phiTable
 	}
-	return &Runtime{part: part, table: t}
+	r := &Runtime{part: part, table: t, slow: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
 }
 
 // Partition returns the partition the runtime executes on.
 func (r *Runtime) Partition() machine.Partition { return r.part }
 
-// SetTracer attaches a tracer to the runtime: subsequent team constructs
-// emit omp-category spans on the given track, laid out back-to-back on
-// the runtime's own trace timeline. A nil tracer turns tracing off.
-func (r *Runtime) SetTracer(t *simtrace.Tracer, track string) {
+// setTracer attaches a tracer to the runtime (see WithTracer). A nil
+// tracer turns tracing off.
+func (r *Runtime) setTracer(t *simtrace.Tracer, track string) {
 	r.tracer = t
 	r.track = track
+}
+
+// scale applies the fault plan's steady slowdown to a virtual duration;
+// the healthy runtime returns d unchanged.
+func (r *Runtime) scale(d vclock.Time) vclock.Time {
+	if r.slow > 1 {
+		return vclock.Time(float64(d) * r.slow)
+	}
+	return d
 }
 
 // trace lays the construct just charged onto the runtime's trace
@@ -250,7 +289,7 @@ func (r *Runtime) SyncOverhead(c Construct) vclock.Time {
 		// barrier now waits for a core that keeps getting preempted.
 		o *= r.table.osCoreMult
 	}
-	return vclock.Time(o) * vclock.Microsecond
+	return r.scale(vclock.Time(o) * vclock.Microsecond)
 }
 
 // dispatchCost returns the virtual time of one dynamic-scheduler chunk
@@ -261,5 +300,5 @@ func (r *Runtime) dispatchCost() vclock.Time {
 	if r.part.UsesOSCore {
 		o *= r.table.osCoreMult
 	}
-	return vclock.Time(o) * vclock.Microsecond
+	return r.scale(vclock.Time(o) * vclock.Microsecond)
 }

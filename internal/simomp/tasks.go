@@ -42,6 +42,8 @@ func (t *Team) Tasks(n int, cost func(i int) vclock.Time, body func(i int)) vclo
 		createCost *= vclock.Time(rt.table.osCoreMult)
 		dispatchCost *= vclock.Time(rt.table.osCoreMult)
 	}
+	createCost = rt.scale(createCost)
+	dispatchCost = rt.scale(dispatchCost)
 
 	// Real execution.
 	if body != nil {
@@ -69,7 +71,7 @@ func (t *Team) Tasks(n int, cost func(i int) vclock.Time, body func(i int)) vclo
 		start := vclock.Max(busy[tid], created)
 		c := vclock.Time(0)
 		if cost != nil {
-			c = cost(i)
+			c = rt.scale(cost(i))
 		}
 		busy[tid] = start + dispatchCost + c
 	}

@@ -64,15 +64,17 @@ func (t *Team) schedule(n int, o ForOpts) (perThread [][]chunk, span vclock.Time
 	if n <= 0 {
 		return perThread, 0
 	}
+	// Iteration costs are nominal healthy-machine durations; a straggler
+	// device stretches them by the fault plan's steady factor.
 	cost := func(lo, hi int) vclock.Time {
 		if o.CostFn != nil {
 			var s vclock.Time
 			for i := lo; i < hi; i++ {
 				s += o.CostFn(i)
 			}
-			return s
+			return t.rt.scale(s)
 		}
-		return vclock.Time(hi-lo) * o.IterCost
+		return t.rt.scale(vclock.Time(hi-lo) * o.IterCost)
 	}
 	busy := make([]vclock.Time, t.threads)
 	dispatch := t.rt.dispatchCost()
@@ -235,7 +237,7 @@ func (t *Team) Parallel(body func(tid int), perThreadCost func(tid int) vclock.T
 			}
 		}
 	}
-	elapsed := span + t.rt.SyncOverhead(Parallel)
+	elapsed := t.rt.scale(span) + t.rt.SyncOverhead(Parallel)
 	t.rt.trace("parallel", elapsed, 0)
 	return elapsed
 }
@@ -296,7 +298,7 @@ func (t *Team) SingleRegion(body func(), cost vclock.Time) vclock.Time {
 	if body != nil {
 		body()
 	}
-	elapsed := cost + t.rt.SyncOverhead(Single)
+	elapsed := t.rt.scale(cost) + t.rt.SyncOverhead(Single)
 	t.rt.trace("single", elapsed, 0)
 	return elapsed
 }

@@ -40,11 +40,12 @@ const (
 	CatPCIe    Category = "pcie"    // transport flights and DMA framing, any fabric
 	CatIO      Category = "io"      // file-system transfers
 	CatCompute Category = "compute" // local computation and injection overhead
+	CatFault   Category = "fault"   // injected-fault effects (retries, backoff, fallbacks)
 )
 
 // Categories returns the vocabulary in display order.
 func Categories() []Category {
-	return []Category{CatMPI, CatOMP, CatOffload, CatPCIe, CatIO, CatCompute}
+	return []Category{CatMPI, CatOMP, CatOffload, CatPCIe, CatIO, CatCompute, CatFault}
 }
 
 // Span is one completed virtual-time interval on one track.
