@@ -56,6 +56,20 @@ func TestPutForeignSlices(t *testing.T) {
 	}
 }
 
+// TestSteadyStateGetPutZeroAlloc pins the box-recycling property: after
+// warm-up, a Get/Put cycle allocates nothing — neither the buffer nor
+// the slice header placed in the sync.Pool.
+func TestSteadyStateGetPutZeroAlloc(t *testing.T) {
+	var p Pool[byte]
+	p.Put(p.Get(1024)) // warm both the buffer and the box pool
+	n := testing.AllocsPerRun(100, func() {
+		p.Put(p.Get(1024))
+	})
+	if n != 0 {
+		t.Fatalf("steady-state Get/Put allocates %v times per cycle, want 0", n)
+	}
+}
+
 func BenchmarkGetPut1K(b *testing.B) {
 	b.ReportAllocs()
 	var p Pool[byte]

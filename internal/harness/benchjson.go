@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 )
 
@@ -17,6 +18,15 @@ type BenchExperiment struct {
 	Mallocs    uint64 `json:"mallocs"`
 	AllocBytes uint64 `json:"alloc_bytes"`
 	Error      string `json:"error,omitempty"`
+}
+
+// BenchSlowest is one entry of a run's slowest-experiments summary:
+// the experiment's wall time and its share of the run's summed
+// experiment wall time.
+type BenchSlowest struct {
+	ID     string  `json:"id"`
+	WallNs int64   `json:"wall_ns"`
+	Share  float64 `json:"share"`
 }
 
 // BenchRun is one labeled benchmark pass over a set of experiments —
@@ -33,6 +43,7 @@ type BenchRun struct {
 	Workers     int               `json:"workers"`
 	Quick       bool              `json:"quick"`
 	TotalWallNs int64             `json:"total_wall_ns"`
+	Slowest     []BenchSlowest    `json:"slowest,omitempty"`
 	Experiments []BenchExperiment `json:"experiments"`
 }
 
@@ -65,7 +76,40 @@ func NewBenchRun(label string, quick bool, workers int, total time.Duration, res
 		}
 		run.Experiments = append(run.Experiments, be)
 	}
+	run.Slowest = slowestOf(run.Experiments, 5)
 	return run
+}
+
+// slowestOf ranks the top-k experiments by wall time, with each entry's
+// share of the summed experiment wall time (which differs from the
+// run's elapsed total under parallel workers).
+func slowestOf(exps []BenchExperiment, k int) []BenchSlowest {
+	if len(exps) == 0 {
+		return nil
+	}
+	ranked := append([]BenchExperiment(nil), exps...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].WallNs != ranked[j].WallNs {
+			return ranked[i].WallNs > ranked[j].WallNs
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	var sum int64
+	for _, e := range exps {
+		sum += e.WallNs
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]BenchSlowest, 0, k)
+	for _, e := range ranked[:k] {
+		s := BenchSlowest{ID: e.ID, WallNs: e.WallNs}
+		if sum > 0 {
+			s.Share = float64(e.WallNs) / float64(sum)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // AppendBenchJSON appends run to the JSON array in path, creating the

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBenchRunSlowest pins the -benchjson summary: the run carries a
+// top-k slowest table ranked by wall time, with shares of the summed
+// experiment wall time.
+func TestBenchRunSlowest(t *testing.T) {
+	results := []Result{
+		{ID: "a", Wall: 1 * time.Second},
+		{ID: "b", Wall: 3 * time.Second},
+		{ID: "c", Wall: 2 * time.Second},
+		{ID: "d", Wall: 4 * time.Second},
+	}
+	run := NewBenchRun("test", false, 1, 10*time.Second, results)
+	if len(run.Slowest) != 4 {
+		t.Fatalf("slowest has %d entries, want 4", len(run.Slowest))
+	}
+	wantOrder := []string{"d", "b", "c", "a"}
+	var shareSum float64
+	for i, s := range run.Slowest {
+		if s.ID != wantOrder[i] {
+			t.Errorf("slowest[%d] = %s, want %s", i, s.ID, wantOrder[i])
+		}
+		shareSum += s.Share
+	}
+	if run.Slowest[0].WallNs != (4 * time.Second).Nanoseconds() {
+		t.Errorf("slowest[0].WallNs = %d", run.Slowest[0].WallNs)
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("shares sum to %v, want 1", shareSum)
+	}
+	if got := slowestOf(run.Experiments, 2); len(got) != 2 || got[0].ID != "d" || got[1].ID != "b" {
+		t.Errorf("top-2 = %+v", got)
+	}
+	if got := slowestOf(nil, 5); got != nil {
+		t.Errorf("empty runs should have no slowest table, got %+v", got)
+	}
+}

@@ -144,6 +144,16 @@ func RunExperiments(w io.Writer, env Env, exps []Experiment, workers int) ([]Res
 		}
 	}
 	wg.Wait()
+	if children != nil {
+		// One capacity reservation for the whole merge: per-child Merge
+		// growth would reallocate the parent store up to len(children)
+		// times.
+		total := 0
+		for _, child := range children {
+			total += child.SpanCount()
+		}
+		env.Tracer.Reserve(total)
+	}
 	for _, child := range children {
 		env.Tracer.Merge(child)
 	}

@@ -1,0 +1,82 @@
+package memsim
+
+import (
+	"testing"
+
+	"maia/internal/machine"
+)
+
+// Allocation-regression guards for the steady-state engine. The sweep
+// cost model is O(period) state (pooled) plus O(1) arithmetic per
+// extrapolated cycle; a regression that reintroduces per-iteration
+// allocation (or stops recycling the pooled engine state) trips these.
+
+// TestSteadyCycleReplayAllocFree pins that once the engine reaches the
+// steady state, pricing more cycles allocates nothing: the replay is
+// counter arithmetic, not simulation.
+func TestSteadyCycleReplayAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	withFastPath(func() {
+		h := MustHierarchy(machine.SandyBridge())
+		h.Flush()
+		eng := newStridedSim(h, 64, 64)
+		if eng == nil {
+			t.Fatal("engine refused an eligible workload")
+		}
+		defer eng.finish()
+		counts := make([]uint64, len(h.levels)+1)
+		// Drive to steady state (two identical cycles) before measuring.
+		for c := 0; c < 4; c++ {
+			eng.run(eng.period, nil, counts)
+		}
+		if !eng.steady {
+			t.Fatal("engine never reached the steady state")
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			for c := 0; c < 4096; c++ {
+				eng.run(eng.period, nil, counts)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("steady replay of 4096 cycles allocated %.1f times, want 0", allocs)
+		}
+	})
+}
+
+// TestChaseLatencySweepAllocBound pins the end-to-end sweep cost: a
+// small-footprint ChaseLatency performs thousands of virtual accesses
+// but must allocate only O(lines) — the permutation buffers plus the
+// pooled engine state (recycled, so the steady-state marginal cost is
+// near zero). The bound is loose; only an O(iterations) regression
+// blows through it.
+func TestChaseLatencySweepAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	h := MustHierarchy(machine.SandyBridge())
+	allocs := testing.AllocsPerRun(5, func() {
+		ChaseLatency(h, 8*64, 42) // 8 lines, 4096 measured accesses
+	})
+	if allocs > 64 {
+		t.Errorf("ChaseLatency allocated %.1f times for an 8-line chase, want <= 64", allocs)
+	}
+}
+
+// TestStridedSweepAllocBound is the same guard for the strided sweep
+// behind Figures 5–6: ~4K accesses over a 16-line footprint must stay
+// within a fixed allocation budget.
+func TestStridedSweepAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	spec := machine.SandyBridge()
+	h := MustHierarchy(spec)
+	allocs := testing.AllocsPerRun(5, func() {
+		StridedBandwidth(h, spec, 16*64, 64, 8)
+	})
+	if allocs > 64 {
+		t.Errorf("StridedBandwidth allocated %.1f times for a 16-line sweep, want <= 64", allocs)
+	}
+}

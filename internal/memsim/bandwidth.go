@@ -36,17 +36,27 @@ func StreamBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes i
 		lines = 1
 	}
 	h.Flush()
-	// Warm-up pass.
-	h.AccessRange(0, lines, lineBytes)
-	// Measured passes: stream the set repeatedly, tallying which level
-	// serves each line.
 	passes := 1
 	if lines < 4096 {
 		passes = 4096/lines + 1
 	}
 	counts := make([]uint64, len(h.levels)+1)
-	for p := 0; p < passes; p++ {
-		h.AccessRangeInto(counts, 0, lines, lineBytes)
+	if eng := newStridedSim(h, lines, lineBytes); eng != nil {
+		// Steady-state replay: one warm-up pass, then the measured
+		// passes tallying which level serves each line.
+		eng.run(eng.period, nil, nil)
+		for p := 0; p < passes; p++ {
+			eng.run(eng.period, nil, counts)
+		}
+		eng.finish()
+	} else {
+		// Warm-up pass.
+		h.AccessRange(0, lines, lineBytes)
+		// Measured passes: stream the set repeatedly, tallying which
+		// level serves each line.
+		for p := 0; p < passes; p++ {
+			h.AccessRangeInto(counts, 0, lines, lineBytes)
+		}
 	}
 	// Harmonic combination: total time = sum over levels of
 	// bytes_served_by_level / level_bandwidth.

@@ -33,24 +33,31 @@ func ChaseLatency(h *Hierarchy, workingSetBytes int, seed uint64) LatencyPoint {
 	}
 
 	h.Flush()
-	// Warm-up pass: touch every line once.
-	idx := 0
-	for i := 0; i < lines; i++ {
-		h.Access(uint64(idx) * lineBytes)
-		idx = next[idx]
-	}
-	// Measured pass.
 	var total vclock.Time
-	n := lines
 	// For tiny working sets one traversal is too short to average well;
 	// walk at least 4096 loads.
+	n := lines
 	if n < 4096 {
 		n = 4096
 	}
-	for i := 0; i < n; i++ {
-		_, lat := h.Access(uint64(idx) * lineBytes)
-		total += lat
-		idx = next[idx]
+	if eng := newChaseSim(h, next); eng != nil {
+		// Steady-state replay: warm-up cycle, then the measured loads.
+		eng.run(lines, nil, nil)
+		eng.run(n, &total, nil)
+		eng.finish()
+	} else {
+		// Warm-up pass: touch every line once.
+		idx := 0
+		for i := 0; i < lines; i++ {
+			h.Access(uint64(idx) * lineBytes)
+			idx = next[idx]
+		}
+		// Measured pass.
+		for i := 0; i < n; i++ {
+			_, lat := h.Access(uint64(idx) * lineBytes)
+			total += lat
+			idx = next[idx]
+		}
 	}
 	return LatencyPoint{
 		WorkingSetBytes: workingSetBytes,

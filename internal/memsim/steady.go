@@ -1,0 +1,434 @@
+package memsim
+
+import (
+	"bytes"
+	"os"
+
+	"maia/internal/bufpool"
+	"maia/internal/vclock"
+)
+
+// The steady-state engine replays the cyclic access patterns behind the
+// Figure 5/6 sweeps (pointer chases and strided streams) without
+// walking the per-set LRU state on every access. Both workloads visit a
+// fixed sequence of DISTINCT cache lines over and over; for such
+// sequences LRU residency has a closed form — the stack-distance
+// property: a line hits at a level iff fewer than `assoc` distinct
+// other lines of its set were touched there since its own last touch.
+// The engine tracks, per (level, position), the value of a per-set
+// touch counter at the line's last touch. Because each line touches a
+// level at most once per cycle, a window that spans at most one full
+// cycle contains only distinct touches, so `counter-now − stamp` IS the
+// distinct count; for the rare stale windows (a line that skipped a
+// level for a while during the cold transient) the exact distinct count
+// is recovered by scanning the set's member stamps.
+//
+// On top of the exact per-access replay sits steady-state detection:
+// the per-position serving levels of a cycle are a pure function of the
+// previous cycle's, so once two consecutive full cycles produce the
+// same outcome vector every later cycle repeats it. From there the
+// remaining iterations are priced arithmetically — integer counters by
+// multiplication, latency by replaying the same float additions in the
+// same order, keeping results bit-identical to the per-element path.
+//
+// After a run the hierarchy's hit/miss counters are exact but its tag
+// state is unspecified; callers must Flush before reusing it (every
+// sweep in this package does).
+
+// noFastPathEnv force-disables the steady-state engine process-wide.
+var noFastPathEnv = os.Getenv("MAIA_NO_FASTPATH") != ""
+
+var (
+	steadyU64 bufpool.Pool[uint64]
+	steadyU32 bufpool.Pool[uint32]
+	steadyU8  bufpool.Pool[uint8]
+	steadyI32 bufpool.Pool[int32]
+)
+
+// steadySim replays one cyclic sequence of distinct lines against one
+// (freshly flushed) hierarchy. All storage is O(period + sets), pooled.
+type steadySim struct {
+	h      *Hierarchy
+	period int
+	seq    []uint64 // distinct line numbers, one per position
+	extra  []uint32 // same-L1-line follow-up hits absorbed at each position (nil = none)
+
+	L     int
+	sets  []int
+	assoc []uint64
+	lat   []vclock.Time // per level; lat[L] is main memory
+
+	touch  [][]uint64 // per level, per set: monotone touch counter
+	stamps [][]uint64 // per level, per position: touch value at last touch (0 = never)
+	lastCy [][]uint32 // per level, per position: cycle of last touch
+
+	// Member CSR per level, built lazily on the first stale-window probe:
+	// positions grouped by set, for exact distinct counting.
+	memStart [][]int32
+	memPos   [][]int32
+
+	pos   int    // next position within the cycle
+	cycle uint32 // 1-based current cycle
+
+	prevO, curO []uint8 // serving level per position, previous/current cycle
+	havePrev    bool
+	steady      bool
+
+	cycCounts []uint64 // per-level serve counts over one steady cycle
+	cycExtra  uint64   // extra L1 hits over one steady cycle
+
+	// Counter deltas applied to h in finish().
+	dHits, dMiss []uint64
+	dMem         uint64
+}
+
+// newSteadySim wraps a freshly flushed hierarchy for the given distinct-
+// line cyclic sequence, or returns nil when the fast path must not be
+// used (escape hatch set, no cache levels, or line sizes differ across
+// levels so one address maps to different lines per level).
+func newSteadySim(h *Hierarchy, seq []uint64, extra []uint32) *steadySim {
+	if h.noFastPath || noFastPathEnv || len(h.levels) == 0 {
+		return nil
+	}
+	lb := h.levels[0].lineBytes
+	for _, c := range h.levels[1:] {
+		if c.lineBytes != lb {
+			return nil
+		}
+	}
+	L := len(h.levels)
+	s := &steadySim{
+		h: h, period: len(seq), seq: seq, extra: extra, L: L,
+		sets:  make([]int, L),
+		assoc: make([]uint64, L),
+		lat:   make([]vclock.Time, L+1),
+		touch: make([][]uint64, L), stamps: make([][]uint64, L), lastCy: make([][]uint32, L),
+		memStart: make([][]int32, L), memPos: make([][]int32, L),
+		prevO: steadyU8.Get(len(seq)), curO: steadyU8.Get(len(seq)),
+		cycCounts: make([]uint64, L+1),
+		dHits:     make([]uint64, L), dMiss: make([]uint64, L),
+		cycle: 1,
+	}
+	for lv, c := range h.levels {
+		s.sets[lv] = c.sets
+		s.assoc[lv] = uint64(c.assoc)
+		s.lat[lv] = c.latency
+		s.touch[lv] = steadyU64.GetZeroed(c.sets)
+		s.stamps[lv] = steadyU64.GetZeroed(len(seq))
+		s.lastCy[lv] = steadyU32.GetZeroed(len(seq))
+	}
+	s.lat[L] = h.memLat
+	if extra != nil {
+		for _, e := range extra {
+			s.cycExtra += uint64(e)
+		}
+	}
+	return s
+}
+
+// newChaseSim builds the engine for a pointer chase over 64-byte lines:
+// the visit order follows the cyclic permutation next starting at line 0.
+func newChaseSim(h *Hierarchy, next []int) *steadySim {
+	if len(h.levels) == 0 || h.levels[0].lineBytes != 64 {
+		return nil
+	}
+	seq := steadyU64.Get(len(next))
+	idx := 0
+	for i := range seq {
+		seq[i] = uint64(idx)
+		idx = next[idx]
+	}
+	if s := newSteadySim(h, seq, nil); s != nil {
+		return s
+	}
+	steadyU64.Put(seq)
+	return nil
+}
+
+// newStridedSim builds the engine for one pass of n accesses at
+// addresses 0, stride, 2*stride, ..., grouped exactly as
+// AccessRangeInto groups them: accesses after the first that stay in
+// the same L1 line become per-position extra hits.
+func newStridedSim(h *Hierarchy, n int, stride uint64) *steadySim {
+	if len(h.levels) == 0 || stride == 0 || n <= 0 {
+		return nil
+	}
+	lb := uint64(h.levels[0].lineBytes)
+	seq := steadyU64.Get(n)[:0]
+	var extra []uint32
+	if stride < lb {
+		extra = steadyU32.Get(n)[:0]
+	}
+	for i := 0; i < n; {
+		a := uint64(i) * stride
+		seq = append(seq, a/lb)
+		i++
+		if extra == nil {
+			continue
+		}
+		rem := (a/lb+1)*lb - 1 - a
+		k := int(rem / stride)
+		if k > n-i {
+			k = n - i
+		}
+		extra = append(extra, uint32(k))
+		i += k
+	}
+	if s := newSteadySim(h, seq, extra); s != nil {
+		return s
+	}
+	steadyU64.Put(seq)
+	if extra != nil {
+		steadyU32.Put(extra)
+	}
+	return nil
+}
+
+// run advances the replay by nPos positions, accumulating per-level
+// serve counts into counts (len L+1, not cleared) and, when latSink is
+// non-nil, adding each access's latency to *latSink in access order.
+func (s *steadySim) run(nPos int, latSink *vclock.Time, counts []uint64) {
+	for nPos > 0 {
+		if s.steady {
+			if s.pos == 0 && nPos >= s.period {
+				k := nPos / s.period
+				s.replayCycles(k, latSink, counts)
+				nPos -= k * s.period
+				continue
+			}
+			m := s.period - s.pos
+			if m > nPos {
+				m = nPos
+			}
+			s.replayRange(s.pos, m, latSink, counts)
+			s.pos = (s.pos + m) % s.period
+			nPos -= m
+			continue
+		}
+		s.step(latSink, counts)
+		nPos--
+	}
+}
+
+// step simulates one access (plus its absorbed same-line extras).
+func (s *steadySim) step(latSink *vclock.Time, counts []uint64) {
+	j := s.pos
+	ln := s.seq[j]
+	serving := s.L
+	for lv := 0; lv < s.L; lv++ {
+		st := s.stamps[lv][j]
+		if st == 0 {
+			continue
+		}
+		set := ln % uint64(s.sets[lv])
+		// counter − stamp counts the set's touches since this line's
+		// last touch: exactly the distinct count when the window spans
+		// at most one cycle, an overcount otherwise — so a hit verdict
+		// is always exact, and a miss verdict on a stale window is
+		// re-checked against the true distinct count.
+		if s.touch[lv][set]-st < s.assoc[lv] {
+			serving = lv
+			break
+		}
+		if s.lastCy[lv][j] != s.cycle-1 && s.distinctSince(lv, int(set), st) < s.assoc[lv] {
+			serving = lv
+			break
+		}
+	}
+	// The access makes its line MRU at every level up to the one that
+	// served it (Lookup promotion + Fill into faster levels; a full
+	// miss installs everywhere).
+	top := serving
+	if top == s.L {
+		top = s.L - 1
+		s.dMem++
+	} else {
+		s.dHits[serving]++
+	}
+	for lv := 0; lv <= top; lv++ {
+		set := ln % uint64(s.sets[lv])
+		s.touch[lv][set]++
+		s.stamps[lv][j] = s.touch[lv][set]
+		s.lastCy[lv][j] = s.cycle
+	}
+	for lv := 0; lv < serving && lv < s.L; lv++ {
+		s.dMiss[lv]++
+	}
+	if counts != nil {
+		counts[serving]++
+	}
+	if latSink != nil {
+		*latSink += s.lat[serving]
+	}
+	s.curO[j] = uint8(serving)
+	if s.extra != nil {
+		if e := s.extra[j]; e > 0 {
+			s.dHits[0] += uint64(e)
+			if counts != nil {
+				counts[0] += uint64(e)
+			}
+			if latSink != nil {
+				*latSink += vclock.Time(e) * s.lat[0]
+			}
+		}
+	}
+	s.pos++
+	if s.pos == s.period {
+		s.pos = 0
+		s.endCycle()
+	}
+}
+
+// endCycle runs steady-state detection at a full-cycle boundary: the
+// next cycle's outcomes are a pure function of this cycle's, so two
+// consecutive identical outcome vectors pin all future cycles.
+func (s *steadySim) endCycle() {
+	if s.havePrev && bytes.Equal(s.prevO, s.curO) {
+		s.steady = true
+		for lv := range s.cycCounts {
+			s.cycCounts[lv] = 0
+		}
+		for _, o := range s.curO {
+			s.cycCounts[o]++
+		}
+		return
+	}
+	s.prevO, s.curO = s.curO, s.prevO
+	s.havePrev = true
+	s.cycle++
+}
+
+// replayRange prices positions [from, from+m) of a steady cycle from
+// the recorded outcome vector, without touching simulation state.
+func (s *steadySim) replayRange(from, m int, latSink *vclock.Time, counts []uint64) {
+	for j := from; j < from+m; j++ {
+		o := int(s.curO[j])
+		if o < s.L {
+			s.dHits[o]++
+		} else {
+			s.dMem++
+		}
+		for lv := 0; lv < o && lv < s.L; lv++ {
+			s.dMiss[lv]++
+		}
+		if counts != nil {
+			counts[o]++
+		}
+		if latSink != nil {
+			*latSink += s.lat[o]
+		}
+		if s.extra != nil {
+			if e := s.extra[j]; e > 0 {
+				s.dHits[0] += uint64(e)
+				if counts != nil {
+					counts[0] += uint64(e)
+				}
+				if latSink != nil {
+					*latSink += vclock.Time(e) * s.lat[0]
+				}
+			}
+		}
+	}
+}
+
+// replayCycles prices k whole steady cycles. Integer counters multiply
+// exactly; latency, when requested, replays the per-access additions in
+// order because float addition is order-sensitive.
+func (s *steadySim) replayCycles(k int, latSink *vclock.Time, counts []uint64) {
+	if latSink != nil {
+		for c := 0; c < k; c++ {
+			s.replayRange(0, s.period, latSink, counts)
+		}
+		return
+	}
+	uk := uint64(k)
+	for lv := 0; lv <= s.L; lv++ {
+		n := s.cycCounts[lv] * uk
+		if counts != nil {
+			counts[lv] += n
+		}
+		if lv < s.L {
+			s.dHits[lv] += n
+		} else {
+			s.dMem += n
+		}
+	}
+	var below uint64
+	for lv := s.L; lv >= 1; lv-- {
+		below += s.cycCounts[lv]
+		s.dMiss[lv-1] += below * uk
+	}
+	n := s.cycExtra * uk
+	s.dHits[0] += n
+	if counts != nil {
+		counts[0] += n
+	}
+}
+
+// distinctSince counts the distinct set members touched at level lv
+// since the probing line's own stamp st — the exact LRU stack distance
+// for stale (multi-cycle) windows.
+func (s *steadySim) distinctSince(lv, set int, st uint64) uint64 {
+	if s.memStart[lv] == nil {
+		s.buildMembers(lv)
+	}
+	var d uint64
+	stamps := s.stamps[lv]
+	for _, q := range s.memPos[lv][s.memStart[lv][set]:s.memStart[lv][set+1]] {
+		if stamps[q] > st {
+			d++
+		}
+	}
+	return d
+}
+
+// buildMembers groups positions by their set at level lv (counting sort).
+func (s *steadySim) buildMembers(lv int) {
+	ns := s.sets[lv]
+	start := steadyI32.GetZeroed(ns + 1)
+	for _, ln := range s.seq {
+		start[ln%uint64(ns)+1]++
+	}
+	for i := 0; i < ns; i++ {
+		start[i+1] += start[i]
+	}
+	mp := steadyI32.Get(s.period)
+	cursor := steadyI32.Get(ns)
+	copy(cursor, start[:ns])
+	for j, ln := range s.seq {
+		set := ln % uint64(ns)
+		mp[cursor[set]] = int32(j)
+		cursor[set]++
+	}
+	steadyI32.Put(cursor)
+	s.memStart[lv] = start
+	s.memPos[lv] = mp
+}
+
+// finish applies the accumulated hit/miss/memory counter deltas to the
+// hierarchy and releases all pooled storage. The engine must not be
+// used afterwards; the hierarchy's tag state is unspecified until the
+// next Flush.
+func (s *steadySim) finish() {
+	for lv, c := range s.h.levels {
+		c.hits += s.dHits[lv]
+		c.misses += s.dMiss[lv]
+	}
+	s.h.memAccesses += s.dMem
+	for lv := 0; lv < s.L; lv++ {
+		steadyU64.Put(s.touch[lv])
+		steadyU64.Put(s.stamps[lv])
+		steadyU32.Put(s.lastCy[lv])
+		if s.memStart[lv] != nil {
+			steadyI32.Put(s.memStart[lv])
+			steadyI32.Put(s.memPos[lv])
+		}
+	}
+	steadyU64.Put(s.seq)
+	if s.extra != nil {
+		steadyU32.Put(s.extra)
+	}
+	steadyU8.Put(s.prevO)
+	steadyU8.Put(s.curO)
+	s.h = nil
+}

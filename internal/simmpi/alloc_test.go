@@ -56,6 +56,33 @@ func TestSendRecvPooledAllocBound(t *testing.T) {
 	}
 }
 
+// TestRepeatOpAllocsIndependentOfIters pins the closed-form replay's
+// defining property: pricing 4096 collectives must not allocate more
+// than pricing 4 (the replay is a scalar recurrence, not a message
+// loop). This is the structural guarantee behind the fig13/fig14
+// malloc reduction.
+func TestRepeatOpAllocsIndependentOfIters(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	repeatAllocs := func(iters int) float64 {
+		w, err := NewWorld(Config{Ranks: HostPlacement(4, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, ok := w.RepeatOp(AllgatherKind, 4096, iters); !ok {
+				t.Fatal("fast path refused a symmetric Allgather")
+			}
+		})
+	}
+	var base, more float64
+	withFastPath(func() { base, more = repeatAllocs(4), repeatAllocs(4096) })
+	if more > base {
+		t.Errorf("RepeatOp allocs grew with iters: %v at 4 iters, %v at 4096", base, more)
+	}
+}
+
 // BenchmarkSendRecvPooled is the -benchmem view of the same path: a
 // 2-rank world streaming pooled messages with a recycling receiver.
 func BenchmarkSendRecvPooled(b *testing.B) {

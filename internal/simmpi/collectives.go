@@ -156,7 +156,7 @@ func (r *Rank) reduceImpl(root int, vec []float64, op Op) []float64 {
 	for mask < n {
 		if rel&mask != 0 {
 			dst := (r.id - mask + n) % n
-			pb := f64ToBytes(acc)
+			pb := r.packF64(acc)
 			r.send(dst, tagReduce, pb)
 			Recycle(pb)
 			if rel == 0 {
@@ -168,12 +168,12 @@ func (r *Rank) reduceImpl(root int, vec []float64, op Op) []float64 {
 		if rel+mask < n {
 			src := (r.id + mask) % n
 			rb := r.recv(src, tagReduce)
-			other := bytesToF64(rb)
+			other := r.unpackF64(rb)
 			Recycle(rb)
 			if len(other) != len(acc) {
 				panic(fmt.Sprintf("simmpi: Reduce length mismatch %d vs %d", len(other), len(acc)))
 			}
-			op(acc, other)
+			r.combine(op, acc, other)
 			RecycleF64(other)
 		}
 		mask <<= 1
@@ -200,11 +200,11 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 		copy(acc, vec)
 		for mask := 1; mask < n; mask <<= 1 {
 			partner := r.id ^ mask
-			pb := f64ToBytes(acc)
+			pb := r.packF64(acc)
 			r.send(partner, tagAllreduce, pb)
 			Recycle(pb)
 			rb := r.recv(partner, tagAllreduce)
-			other := bytesToF64(rb)
+			other := r.unpackF64(rb)
 			Recycle(rb)
 			if len(other) != len(acc) {
 				panic(fmt.Sprintf("simmpi: Allreduce length mismatch %d vs %d", len(other), len(acc)))
@@ -212,10 +212,10 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 			// Fixed combine order regardless of partner side keeps the
 			// result identical on every rank.
 			if r.id < partner {
-				op(acc, other)
+				r.combine(op, acc, other)
 				RecycleF64(other)
 			} else {
-				op(other, acc)
+				r.combine(op, other, acc)
 				RecycleF64(acc)
 				acc = other
 			}
@@ -226,7 +226,7 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 	res := r.Reduce(0, vec, op)
 	var buf []byte
 	if r.id == 0 {
-		buf = f64ToBytes(res)
+		buf = r.packF64(res)
 		RecycleF64(res)
 	} else {
 		// Only the length matters on non-root ranks (Bcast replaces or
@@ -234,7 +234,7 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 		buf = payloadPool.Get(8 * len(vec))
 	}
 	out := r.Bcast(0, buf)
-	result := bytesToF64(out)
+	result := r.unpackF64(out)
 	Recycle(out)
 	return result
 }
@@ -388,6 +388,32 @@ func (r *Rank) AllreduceSum(x float64) float64 {
 	RecycleF64(out)
 	RecycleF64(in)
 	return v
+}
+
+// packF64, unpackF64 and combine are the size-only-aware conversion and
+// reduction hooks: a world whose rank bodies never read message
+// contents (Config.SizeOnlyPayloads) skips the per-element conversion
+// loops and the reduction arithmetic, keeping only the byte lengths —
+// which is all any modeled time derives from. Content-preserving worlds
+// take the full path.
+func (r *Rank) packF64(v []float64) []byte {
+	if r.w.cfg.SizeOnlyPayloads {
+		return payloadPool.Get(8 * len(v))
+	}
+	return f64ToBytes(v)
+}
+
+func (r *Rank) unpackF64(b []byte) []float64 {
+	if r.w.cfg.SizeOnlyPayloads {
+		return f64Pool.Get(len(b) / 8)
+	}
+	return bytesToF64(b)
+}
+
+func (r *Rank) combine(op Op, dst, src []float64) {
+	if !r.w.cfg.SizeOnlyPayloads {
+		op(dst, src)
+	}
 }
 
 // f64ToBytes and bytesToF64 move real float64 payloads through the byte

@@ -1,0 +1,174 @@
+package simmpi
+
+import (
+	"fmt"
+	"os"
+
+	"maia/internal/simtrace"
+	"maia/internal/vclock"
+)
+
+// The repeated-op fast path prices N identical collectives (or ring
+// exchanges) without spawning rank goroutines or moving messages. It
+// rests on a symmetry argument: in a homogeneous world (every rank on
+// the same device, threads-per-core and node) running a symmetric
+// algorithm — one where every rank sends and receives the same byte
+// count to a partner each round — all rank clocks are equal at every
+// round boundary, so one scalar clock replayed through the exact
+// send/recv cost recurrence reproduces every rank's clock bit for bit.
+// Float additions happen in the same order as the goroutine run, so the
+// result is identical, not just close.
+//
+// Asymmetric algorithms (binomial Bcast/Reduce, the non-power-of-two
+// reduce+bcast Allreduce, linear Gather/Scatter) and faulted or
+// heterogeneous worlds fall back to the full run.
+
+// noFastPathEnv force-disables the repeated-op fast path process-wide
+// (the same knob memsim honors).
+var noFastPathEnv = os.Getenv("MAIA_NO_FASTPATH") != ""
+
+// symmetric reports whether every rank has the same placement.
+func (w *World) symmetric() bool {
+	l0 := w.cfg.Ranks[0]
+	for _, l := range w.cfg.Ranks[1:] {
+		if l != l0 {
+			return false
+		}
+	}
+	return true
+}
+
+// symReplay is the scalar clock of any one rank in a symmetric round.
+type symReplay struct {
+	w     *World
+	t     vclock.Time
+	msgs  int64
+	bytes int64
+}
+
+// exchange prices one round: post a send of n bytes to a partner, then
+// receive the n bytes the symmetric partner posted at the same clock.
+// The float operations mirror send/recvAt exactly: Advance(sendSide),
+// then AdvanceTo(start + flight) with the rendezvous gated on the
+// receive's post time.
+func (s *symReplay) exchange(n int) {
+	tsPost := s.t
+	sendSide, flight, rendezvous := s.w.transferCost(0, 1, n)
+	s.t += sendSide
+	start := tsPost
+	if rendezvous {
+		start = vclock.Max(tsPost, s.t)
+	}
+	if done := start + flight; done > s.t {
+		s.t = done
+	}
+	s.msgs++
+	s.bytes += int64(n)
+}
+
+// replayOnce replays one collective's round structure, returning the
+// algorithm name and whether the kind/size/world combination is
+// symmetric (replayable) at all.
+func (w *World) replayOnce(s *symReplay, kind CollectiveKind, msgBytes int) (string, bool) {
+	n := w.size
+	switch kind {
+	case AllgatherKind:
+		if n&(n-1) == 0 && msgBytes <= w.cfg.AllgatherSwitchBytes {
+			for mask := 1; mask < n; mask <<= 1 {
+				s.exchange(mask * msgBytes)
+			}
+			return "rd", true
+		}
+		for step := 0; step < n-1; step++ {
+			s.exchange(msgBytes)
+		}
+		return "ring", true
+	case AlltoallKind:
+		for step := 1; step < n; step++ {
+			s.exchange(msgBytes)
+		}
+		return "pairwise", true
+	case AllreduceKind:
+		if n&(n-1) != 0 {
+			return "", false // reduce+bcast is asymmetric
+		}
+		elems := msgBytes / 8
+		if elems < 1 {
+			elems = 1
+		}
+		for mask := 1; mask < n; mask <<= 1 {
+			s.exchange(8 * elems)
+		}
+		return "rd", true
+	default:
+		return "", false // tree-shaped collectives are asymmetric
+	}
+}
+
+// repeatable reports whether the world as a whole may use the replay.
+func (w *World) repeatable() bool {
+	return !noFastPathEnv && w.cfg.Faults == nil && w.size >= 2 && w.symmetric()
+}
+
+// RepeatOp prices iters identical back-to-back collectives of the given
+// per-rank message size in one closed-form replay and returns the total
+// virtual time (every rank finishes together). ok is false when the
+// combination needs the full goroutine run: heterogeneous placement, a
+// fault plan, a world smaller than two ranks, or an asymmetric
+// algorithm (Bcast, non-power-of-two Allreduce).
+//
+// RepeatOp does not populate per-rank profiles or final clocks; callers
+// use the returned time. With a tracer attached it emits one aggregated
+// span covering the whole batch (name "op[algo] xN") instead of the
+// per-operation spans of a full run.
+func (w *World) RepeatOp(kind CollectiveKind, msgBytes, iters int) (vclock.Time, bool) {
+	if !w.repeatable() {
+		return 0, false
+	}
+	s := symReplay{w: w}
+	var algo string
+	for i := 0; i < iters; i++ {
+		a, ok := w.replayOnce(&s, kind, msgBytes)
+		if !ok {
+			return 0, false
+		}
+		algo = a
+	}
+	if w.cfg.Tracer != nil {
+		w.traceRepeat(fmt.Sprintf("%s[%s] x%d", kind, algo, iters), &s)
+	}
+	return s.t, true
+}
+
+// RepeatSendrecv prices iters ring exchanges (each rank sends msgBytes
+// right and receives msgBytes from the left, the Figure 10 loop) under
+// the same eligibility rules as RepeatOp.
+func (w *World) RepeatSendrecv(msgBytes, iters int) (vclock.Time, bool) {
+	if !w.repeatable() {
+		return 0, false
+	}
+	s := symReplay{w: w}
+	for i := 0; i < iters; i++ {
+		s.exchange(msgBytes)
+	}
+	if w.cfg.Tracer != nil {
+		w.traceRepeat(fmt.Sprintf("MPI_Sendrecv x%d", iters), &s)
+	}
+	return s.t, true
+}
+
+// traceRepeat records the batch as one aggregated span plus the world-
+// wide message/byte counters a full run would have accumulated.
+func (w *World) traceRepeat(name string, s *symReplay) {
+	tr := w.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	track := w.cfg.TraceLabel
+	if track == "" {
+		track = "repeat"
+	}
+	tr.Span(track, simtrace.CatMPI, name, 0, s.t, s.bytes*int64(w.size))
+	tr.Count(simtrace.CatMPI, "messages", s.msgs*int64(w.size))
+	tr.Count(simtrace.CatMPI, "bytes", s.bytes*int64(w.size))
+}

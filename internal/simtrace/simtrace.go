@@ -115,6 +115,23 @@ func (t *Tracer) SetProcess(name string) {
 	t.mu.Unlock()
 }
 
+// Reserve grows the tracer's span storage so at least n more spans can
+// be recorded without reallocation — the capacity hint for callers that
+// know their span count up front (harness runners, Merge). It never
+// shrinks and is a no-op on a nil tracer.
+func (t *Tracer) Reserve(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if free := cap(t.spans) - len(t.spans); free < n {
+		grown := make([]Span, len(t.spans), len(t.spans)+n)
+		copy(grown, t.spans)
+		t.spans = grown
+	}
+	t.mu.Unlock()
+}
+
 // Span records one completed interval. End < Start is clamped to an
 // instant span at Start (virtual time is monotonic per agent, so this
 // only defends against rounding).
@@ -193,6 +210,11 @@ func (t *Tracer) Merge(src *Tracer) {
 	src.mu.Unlock()
 
 	t.mu.Lock()
+	if free := cap(t.spans) - len(t.spans); free < len(spans) {
+		grown := make([]Span, len(t.spans), len(t.spans)+len(spans))
+		copy(grown, t.spans)
+		t.spans = grown
+	}
 	t.spans = append(t.spans, spans...)
 	if t.counters == nil {
 		t.counters = make(map[CounterKey]int64)

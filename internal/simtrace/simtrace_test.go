@@ -51,6 +51,33 @@ func TestNilTracerZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestReserve pins the capacity-hint contract: nil-safe, non-positive
+// counts are no-ops, and after Reserve(n) the next n Span calls must
+// not reallocate the backing store.
+func TestReserve(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.Reserve(100) // must not panic
+	tr := New()
+	tr.Reserve(0)
+	tr.Reserve(-3)
+	tr.Reserve(64)
+	c0 := cap(tr.spans)
+	if c0 < 64 {
+		t.Fatalf("Reserve(64) left capacity %d", c0)
+	}
+	for i := 0; i < 64; i++ {
+		tr.Span("track", CatMPI, "op", 0, us, 8)
+	}
+	if cap(tr.spans) != c0 {
+		t.Fatalf("reserved store reallocated: capacity %d -> %d", c0, cap(tr.spans))
+	}
+	// A second Reserve with enough free room must not copy either.
+	tr.Reserve(0)
+	if cap(tr.spans) != c0 {
+		t.Fatalf("no-op Reserve changed capacity to %d", cap(tr.spans))
+	}
+}
+
 func TestSpanRecordingAndCanonicalOrder(t *testing.T) {
 	tr := New()
 	tr.SetProcess("exp")
