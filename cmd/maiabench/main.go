@@ -21,6 +21,10 @@
 // runtime the experiments construct. Golden verification is
 // healthy-machine only, so -faults rejects -verify/-update.
 //
+// With -nodes the ext-rack experiments cap their node sweeps at the
+// given power-of-two count instead of the full 128-node system. Golden
+// snapshots record the full sweep, so -nodes rejects -verify/-update.
+//
 // Usage:
 //
 //	maiabench -list
@@ -69,13 +73,22 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of all virtual-time spans to this file (load at ui.perfetto.dev)")
 	traceSummary := fs.Bool("trace-summary", false, "print the per-category trace time/bytes summary after the run")
 	faults := fs.String("faults", "", "run under a named fault plan (see -list for the catalog); incompatible with -verify/-update")
+	nodes := fs.Int("nodes", 0, "cap the ext-rack node sweeps at this power-of-two node count (0 = full 128-node system); incompatible with -verify/-update")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
-			"usage: maiabench [-quick] [-parallel N] [-faults PLAN] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
+			"usage: maiabench [-quick] [-parallel N] [-faults PLAN] [-nodes N] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nodes != 0 {
+		if *verify || *update {
+			return fmt.Errorf("golden snapshots sweep the full rack: drop -nodes with -verify/-update")
+		}
+		if *nodes < 2 || *nodes > 128 || *nodes&(*nodes-1) != 0 {
+			return fmt.Errorf("-nodes must be a power of two in 2..128, got %d", *nodes)
+		}
 	}
 
 	reg := harness.Paper()
@@ -96,7 +109,7 @@ func run(args []string) error {
 		tracer = simtrace.New()
 	}
 	env := harness.DefaultEnv(harness.WithQuick(*quick), harness.WithTracer(tracer),
-		harness.WithFaults(plan))
+		harness.WithFaults(plan), harness.WithRackNodes(*nodes))
 
 	if *list {
 		for _, e := range reg.All() {

@@ -52,6 +52,7 @@ func run(w io.Writer) error {
 	describe("coprocessor", n.PhiProc, n.Phis, n.PhiProc.MemGB)
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "fabrics: %s; %s per Phi; %s\n", n.QPI.Name, n.PCIe.Name, n.HCA.Name)
+	fmt.Fprintf(w, "rack:    %s\n", machine.NewRackFabric(sys.Nodes))
 	return nil
 }
 

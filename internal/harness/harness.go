@@ -81,6 +81,10 @@ type Env struct {
 	// degraded machine. Nil (and the empty plan) reproduces the healthy
 	// system bit-for-bit.
 	Faults *simfault.Plan
+	// RackNodes, when nonzero, caps the node counts the ext-rack
+	// experiments sweep (the maiabench -nodes flag). Zero sweeps the
+	// full 2..128-node system.
+	RackNodes int
 }
 
 // Option configures the Env built by DefaultEnv.
@@ -105,6 +109,12 @@ func WithModel(m core.Model) Option {
 // runs the healthy machine).
 func WithFaults(p *simfault.Plan) Option {
 	return func(env *Env) { env.Faults = p }
+}
+
+// WithRackNodes caps the ext-rack sweeps' largest node count (0 keeps
+// the full 128-node sweep).
+func WithRackNodes(n int) Option {
+	return func(env *Env) { env.RackNodes = n }
 }
 
 // DefaultEnv returns the calibrated environment, adjusted by opts.

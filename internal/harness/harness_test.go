@@ -33,6 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 		want = append(want, "fig"+itoa(f))
 	}
 	want = append(want, "report", "ext-offload-pipeline", "ext-checkpoint", "ext-profile", "ext-stride", "ext-tasks",
+		"ext-rack-npb", "ext-rack-overflow",
 		"ext-fault-fabric", "ext-fault-straggler", "ext-fault-failover")
 	for _, id := range want {
 		if _, ok := reg.ByID(id); !ok {

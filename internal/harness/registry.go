@@ -112,6 +112,7 @@ func Paper() *Registry {
 	r.mustRegister(appExperiments()...)
 	r.mustRegister(reportExperiments()...)
 	r.mustRegister(extensionExperiments()...)
+	r.mustRegister(rackExperiments()...)
 	r.mustRegister(faultExperiments()...)
 	return r
 }

@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"maia/internal/vclock"
+)
+
+// InterNodeFabric models the rack-level interconnect of Table 1: the 128
+// compute nodes are joined by 4x FDR InfiniBand in an enhanced-hypercube
+// topology (SGI's "single-plane enhanced hypercube"). Node addresses are
+// hypercube corners; the distance between two nodes is the Hamming
+// distance of their indices, and each extra hop adds switch latency and
+// derates the achievable point-to-point bandwidth (links deeper in the
+// cube carry more contending traffic).
+//
+// The single-hop numbers are calibrated to the pre-existing two-node
+// model (1.8 us MPI latency, 5.8 GB/s effective bandwidth over the
+// 7 GB/s FDR link), so a 2-node fabric prices messages exactly like the
+// flat two-host path did.
+type InterNodeFabric struct {
+	// Nodes is the number of addressable nodes (hypercube corners in
+	// use). Power-of-two counts form a complete cube; other counts are
+	// an incomplete cube that still routes by Hamming distance.
+	Nodes int
+	// Link is the per-port link technology (4x FDR InfiniBand).
+	Link LinkSpec
+	// BaseLatency is the one-hop MPI small-message latency: HCA
+	// injection, one switch traversal, HCA ejection.
+	BaseLatency vclock.Time
+	// PerHopLatency is the added latency of each switch hop past the
+	// first.
+	PerHopLatency vclock.Time
+	// LinkGBs is the effective single-hop MPI bandwidth in GB/s
+	// (protocol efficiency already applied to Link.PeakGBs).
+	LinkGBs float64
+	// HopDerate multiplies the effective bandwidth once per hop past
+	// the first, modeling contention on shared higher-dimension links.
+	HopDerate float64
+}
+
+// NewRackFabric returns the Table 1 rack fabric over the given number of
+// nodes (2–128 in the paper's machine; larger cubes are allowed). It
+// panics on fewer than two nodes — a single node has no fabric.
+func NewRackFabric(nodes int) *InterNodeFabric {
+	if nodes < 2 {
+		panic(fmt.Sprintf("machine: rack fabric needs >= 2 nodes, got %d", nodes))
+	}
+	return &InterNodeFabric{
+		Nodes:         nodes,
+		Link:          FDRInfiniBand(),
+		BaseLatency:   1.8 * vclock.Microsecond,
+		PerHopLatency: 0.2 * vclock.Microsecond,
+		LinkGBs:       5.8,
+		HopDerate:     0.94,
+	}
+}
+
+// Dims returns the hypercube dimensionality: the smallest d with
+// 2^d >= Nodes. It is also the fabric diameter in hops.
+func (f *InterNodeFabric) Dims() int {
+	d := 0
+	for 1<<d < f.Nodes {
+		d++
+	}
+	return d
+}
+
+// HopCount returns the routing distance between two nodes: the Hamming
+// distance of their hypercube addresses. Zero for a == b.
+func (f *InterNodeFabric) HopCount(a, b int) int {
+	return bits.OnesCount(uint(a) ^ uint(b))
+}
+
+// Route returns the dimension-order route from a to b: the sequence of
+// nodes visited after a, correcting address bits from least to most
+// significant. len(Route(a,b)) == HopCount(a,b), and every step flips
+// exactly one bit. On an incomplete (non-power-of-two) cube an
+// intermediate corner may be an unpopulated switch port; the endpoint is
+// always b.
+func (f *InterNodeFabric) Route(a, b int) []int {
+	diff := uint(a) ^ uint(b)
+	route := make([]int, 0, bits.OnesCount(diff))
+	cur := uint(a)
+	for diff != 0 {
+		bit := diff & -diff
+		cur ^= bit
+		diff ^= bit
+		route = append(route, int(cur))
+	}
+	return route
+}
+
+// Alpha returns the one-way small-message latency across the given
+// number of hops.
+func (f *InterNodeFabric) Alpha(hops int) vclock.Time {
+	if hops < 1 {
+		return 0
+	}
+	return f.BaseLatency + vclock.Time(hops-1)*f.PerHopLatency
+}
+
+// HopGBs returns the effective bandwidth in GB/s across the given number
+// of hops: the single-hop bandwidth derated once per extra hop.
+func (f *InterNodeFabric) HopGBs(hops int) float64 {
+	gbs := f.LinkGBs
+	for h := 1; h < hops; h++ {
+		gbs *= f.HopDerate
+	}
+	return gbs
+}
+
+// FlightTime returns the latency-plus-bandwidth flight of n bytes from
+// node a to node b (zero for a == b). Monotone in n, non-negative.
+func (f *InterNodeFabric) FlightTime(a, b, n int) vclock.Time {
+	hops := f.HopCount(a, b)
+	if hops == 0 {
+		return 0
+	}
+	return f.Alpha(hops) + vclock.Time(float64(n)/(f.HopGBs(hops)*1e9))
+}
+
+// BisectionGBs returns the bisection bandwidth of the cube: Nodes/2
+// links cross any balanced cut of a complete hypercube.
+func (f *InterNodeFabric) BisectionGBs() float64 {
+	return f.LinkGBs * float64(f.Nodes/2)
+}
+
+// String describes the fabric in one line.
+func (f *InterNodeFabric) String() string {
+	return fmt.Sprintf("%d-node hypercube, %s, %d dims, %.1f GB/s/link, %.0f GB/s bisection",
+		f.Nodes, f.Link.Name, f.Dims(), f.LinkGBs, f.BisectionGBs())
+}

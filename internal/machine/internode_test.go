@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"math/bits"
+	"testing"
+
+	"maia/internal/vclock"
+)
+
+func TestRackFabricTable1(t *testing.T) {
+	f := NewRackFabric(128)
+	if f.Link.Name != FDRInfiniBand().Name {
+		t.Errorf("fabric link = %q, want FDR InfiniBand", f.Link.Name)
+	}
+	if f.Dims() != 7 {
+		t.Errorf("128-node cube dims = %d, want 7", f.Dims())
+	}
+	if got := f.BisectionGBs(); !almost(got, 64*5.8, 1e-9) {
+		t.Errorf("bisection = %v GB/s, want %v", got, 64*5.8)
+	}
+	// The single-hop numbers are pinned to the legacy two-node model so
+	// rack worlds at hops=1 price exactly like the flat path did.
+	if f.Alpha(1) != 1.8*vclock.Microsecond {
+		t.Errorf("one-hop alpha = %v, want 1.8us", f.Alpha(1))
+	}
+	if f.HopGBs(1) != 5.8 {
+		t.Errorf("one-hop bandwidth = %v, want 5.8", f.HopGBs(1))
+	}
+}
+
+func TestRackFabricPanicsOnOneNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRackFabric(1) did not panic")
+		}
+	}()
+	NewRackFabric(1)
+}
+
+func TestHopCountAndRoute(t *testing.T) {
+	f := NewRackFabric(128)
+	cases := []struct{ a, b, hops int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 127, 7}, {5, 3, 2}, {64, 0, 1}, {85, 42, 7},
+	}
+	for _, c := range cases {
+		if got := f.HopCount(c.a, c.b); got != c.hops {
+			t.Errorf("HopCount(%d,%d) = %d, want %d", c.a, c.b, got, c.hops)
+		}
+		route := f.Route(c.a, c.b)
+		if len(route) != c.hops {
+			t.Errorf("len(Route(%d,%d)) = %d, want %d", c.a, c.b, len(route), c.hops)
+		}
+		cur := c.a
+		for _, next := range route {
+			if bits.OnesCount(uint(cur)^uint(next)) != 1 {
+				t.Errorf("Route(%d,%d) step %d->%d flips %d bits", c.a, c.b, cur, next,
+					bits.OnesCount(uint(cur)^uint(next)))
+			}
+			cur = next
+		}
+		if c.hops > 0 && cur != c.b {
+			t.Errorf("Route(%d,%d) ends at %d", c.a, c.b, cur)
+		}
+	}
+}
+
+func TestFlightTimeShape(t *testing.T) {
+	f := NewRackFabric(128)
+	if f.FlightTime(3, 3, 1<<20) != 0 {
+		t.Error("self flight must be zero")
+	}
+	// More hops: strictly more latency, strictly less bandwidth.
+	if f.Alpha(3) <= f.Alpha(1) || f.HopGBs(3) >= f.HopGBs(1) {
+		t.Errorf("hop scaling wrong: alpha %v vs %v, gbs %v vs %v",
+			f.Alpha(3), f.Alpha(1), f.HopGBs(3), f.HopGBs(1))
+	}
+	// Monotone in bytes across any pair.
+	if f.FlightTime(0, 127, 1<<10) >= f.FlightTime(0, 127, 1<<20) {
+		t.Error("flight not monotone in bytes")
+	}
+	// 2-node fabric's single hop matches the legacy flat constants.
+	f2 := NewRackFabric(2)
+	want := 1.8*vclock.Microsecond + vclock.Time(float64(4096)/(5.8*1e9))
+	if got := f2.FlightTime(0, 1, 4096); got != want {
+		t.Errorf("2-node flight = %v, want %v", got, want)
+	}
+}
+
+// TestTable1AggregateInvariants is the catalog drift guard: the modeled
+// 128-node system must keep summing to the paper's headline aggregates
+// (2048 + 15360 cores, 42.6 + 258.8 = 301.4 Tflop/s) and the fabric must
+// reach every node within the cube diameter.
+func TestTable1AggregateInvariants(t *testing.T) {
+	s := NewSystem()
+	host, phi, total := s.PeakTflops()
+	if !almost(host+phi, total, 1e-12) {
+		t.Errorf("peak sum %v != total %v", host+phi, total)
+	}
+	if !almost(total, 301.4, 0.01) {
+		t.Errorf("system peak = %v Tflop/s, want 301.4", total)
+	}
+	if got := float64(s.Nodes) * s.Node.HostPeakGflops() / 1000; !almost(got, host, 1e-12) {
+		t.Errorf("host aggregate %v != nodes x per-node %v", host, got)
+	}
+	if s.TotalHostCores() != 2048 || s.TotalPhiCores() != 15360 {
+		t.Errorf("core counts = %d/%d, want 2048/15360", s.TotalHostCores(), s.TotalPhiCores())
+	}
+	f := NewRackFabric(s.Nodes)
+	for _, pair := range [][2]int{{0, s.Nodes - 1}, {17, 100}, {1, 2}} {
+		if h := f.HopCount(pair[0], pair[1]); h > f.Dims() {
+			t.Errorf("HopCount(%d,%d) = %d exceeds diameter %d", pair[0], pair[1], h, f.Dims())
+		}
+	}
+}
+
+// normNodes clamps an arbitrary fuzz int to a power-of-two node count in
+// [2, 1024]; normAddr clamps an address into the cube.
+func normNodes(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	return 2 << (v % 10)
+}
+
+func normAddr(v, nodes int) int {
+	if v < 0 {
+		v = -v
+	}
+	return v % nodes
+}
+
+// FuzzHypercubeRoute checks that routing always terminates within the
+// cube diameter, flips exactly one address bit per hop, and lands on the
+// destination.
+func FuzzHypercubeRoute(f *testing.F) {
+	f.Add(0, 127, 128)
+	f.Add(5, 3, 8)
+	f.Add(85, 42, 128)
+	f.Add(0, 0, 2)
+	f.Add(1023, 0, 1024)
+	f.Fuzz(func(t *testing.T, a, b, nodes int) {
+		n := normNodes(nodes)
+		fab := NewRackFabric(n)
+		src, dst := normAddr(a, n), normAddr(b, n)
+		hops := fab.HopCount(src, dst)
+		if hops < 0 || hops > fab.Dims() {
+			t.Fatalf("HopCount(%d,%d)=%d outside [0,%d]", src, dst, hops, fab.Dims())
+		}
+		route := fab.Route(src, dst)
+		if len(route) != hops {
+			t.Fatalf("route length %d != hop count %d", len(route), hops)
+		}
+		cur := src
+		for _, next := range route {
+			if bits.OnesCount(uint(cur)^uint(next)) != 1 {
+				t.Fatalf("step %d->%d flips %d bits", cur, next, bits.OnesCount(uint(cur)^uint(next)))
+			}
+			if next < 0 || next >= n {
+				t.Fatalf("route leaves the complete cube: %d not in [0,%d)", next, n)
+			}
+			cur = next
+		}
+		if cur != dst {
+			t.Fatalf("route from %d ends at %d, want %d", src, cur, dst)
+		}
+	})
+}
+
+// FuzzInterNodeFlight checks the flight-time model: non-negative, zero
+// only for self-sends, and monotone non-decreasing in the byte count.
+func FuzzInterNodeFlight(f *testing.F) {
+	f.Add(0, 127, 128, 0, 1<<20)
+	f.Add(3, 5, 8, 64, 65)
+	f.Add(1, 1, 2, 1024, 4096)
+	f.Add(100, 27, 128, 8<<10, 9<<10)
+	f.Fuzz(func(t *testing.T, a, b, nodes, n1, n2 int) {
+		n := normNodes(nodes)
+		fab := NewRackFabric(n)
+		src, dst := normAddr(a, n), normAddr(b, n)
+		if n1 < 0 {
+			n1 = -n1
+		}
+		if n2 < 0 {
+			n2 = -n2
+		}
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		t1, t2 := fab.FlightTime(src, dst, n1), fab.FlightTime(src, dst, n2)
+		if t1 < 0 || t2 < 0 {
+			t.Fatalf("negative flight: %v / %v", t1, t2)
+		}
+		if src == dst {
+			if t1 != 0 || t2 != 0 {
+				t.Fatalf("self flight nonzero: %v / %v", t1, t2)
+			}
+			return
+		}
+		if t1 == 0 || t2 == 0 {
+			t.Fatalf("cross-node flight is zero: %v / %v", t1, t2)
+		}
+		if t1 > t2 {
+			t.Fatalf("flight not monotone in bytes: %d bytes -> %v, %d bytes -> %v", n1, t1, n2, t2)
+		}
+	})
+}

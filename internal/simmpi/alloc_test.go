@@ -2,6 +2,9 @@ package simmpi
 
 import (
 	"testing"
+
+	"maia/internal/machine"
+	"maia/internal/vclock"
 )
 
 // Allocation-regression guards for the pooled send/recv path. The
@@ -80,6 +83,62 @@ func TestRepeatOpAllocsIndependentOfIters(t *testing.T) {
 	withFastPath(func() { base, more = repeatAllocs(4), repeatAllocs(4096) })
 	if more > base {
 		t.Errorf("RepeatOp allocs grew with iters: %v at 4 iters, %v at 4096", base, more)
+	}
+}
+
+// rackSeqAllocs prices a rack script on the hierarchical replay and
+// returns the allocation count of the pricing alone (world construction
+// excluded).
+func rackSeqAllocs(t testing.TB, nodes, perNode, iters int) float64 {
+	w, err := NewWorld(Config{
+		Ranks:  RackPlacement(machine.Host, nodes, perNode, 1),
+		Fabric: machine.NewRackFabric(nodes),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []SeqStep{
+		{Compute: 3 * vclock.Microsecond, Kind: AllreduceKind, Bytes: 64},
+		{Kind: AllgatherKind, Bytes: 256},
+	}
+	return testing.AllocsPerRun(5, func() {
+		if _, ok := w.RepeatSeq(steps, iters); !ok {
+			t.Fatal("rack replay refused a healthy power-of-two rack")
+		}
+	})
+}
+
+// TestRackReplayAllocsIndependentOfIters pins the hierarchical replay's
+// defining property: pricing 4096 script iterations on a rack world
+// must not allocate more than pricing 4. The replay's state is one
+// clock vector allocated up front, not per-iteration messages.
+func TestRackReplayAllocsIndependentOfIters(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	var base, more float64
+	withFastPath(func() {
+		base, more = rackSeqAllocs(t, 8, 4, 4), rackSeqAllocs(t, 8, 4, 4096)
+	})
+	if more > base {
+		t.Errorf("rack replay allocs grew with iters: %v at 4 iters, %v at 4096", base, more)
+	}
+}
+
+// TestRackReplayAllocsIndependentOfNodes pins the replay's scaling law:
+// its state is O(ranks-per-node) — one representative node's clock
+// vector — so pricing 64 nodes must not allocate more than pricing 2.
+// This is what makes the full 128-node rack priceable in closed form.
+func TestRackReplayAllocsIndependentOfNodes(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	var small, large float64
+	withFastPath(func() {
+		small, large = rackSeqAllocs(t, 2, 4, 16), rackSeqAllocs(t, 64, 4, 16)
+	})
+	if large > small {
+		t.Errorf("rack replay allocs grew with node count: %v at 2 nodes, %v at 64", small, large)
 	}
 }
 

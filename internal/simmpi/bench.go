@@ -64,6 +64,12 @@ const (
 	AllgatherKind
 	// AlltoallKind measures MPI_AlltoAll (Figure 14).
 	AlltoallKind
+	// PairKind is a Sendrecv exchange with partner id^1 — the halo
+	// shape of the NPB communication scripts. Valid in SeqStep scripts,
+	// not in CollectiveTime.
+	PairKind
+	// ComputeStep is a SeqStep that performs no communication.
+	ComputeStep
 )
 
 // String implements fmt.Stringer with the paper's MPI function names.
@@ -77,6 +83,10 @@ func (k CollectiveKind) String() string {
 		return "MPI_Allgather"
 	case AlltoallKind:
 		return "MPI_AlltoAll"
+	case PairKind:
+		return "MPI_Sendrecv"
+	case ComputeStep:
+		return "compute"
 	default:
 		return fmt.Sprintf("CollectiveKind(%d)", int(k))
 	}

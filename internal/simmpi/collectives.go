@@ -19,6 +19,11 @@ const (
 	tagAlltoall
 	tagGather
 	tagScatter
+	// Hierarchical-collective phases (hier.go): up-funnel to the node
+	// leader, leader-to-leader inter-node traffic, down-distribution.
+	tagHierUp
+	tagHierInter
+	tagHierDown
 )
 
 // Op combines src into dst element-wise (dst = op(dst, src)). All
@@ -81,6 +86,9 @@ func (r *Rank) bcastImpl(root int, data []byte) []byte {
 	}
 	if n == 1 {
 		return data
+	}
+	if r.w.rack != nil {
+		return r.hierBcast(root, data)
 	}
 	if len(data) > r.w.cfg.BcastLongBytes && n > 2 {
 		r.setAlgo("vandegeijn")
@@ -194,6 +202,9 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 		copy(out, vec)
 		return out
 	}
+	if r.w.rack != nil {
+		return r.hierAllreduce(vec, op)
+	}
 	if n&(n-1) == 0 {
 		r.setAlgo("rd")
 		acc := f64Pool.Get(len(vec))
@@ -245,6 +256,9 @@ func (r *Rank) allreduceImpl(vec []float64, op Op) []float64 {
 // the ring algorithm. The size switch is what produces the step in the
 // paper's Figure 13 at 2–4 KB.
 func (r *Rank) allgatherImpl(block []byte) []byte {
+	if r.w.rack != nil {
+		return r.hierAllgather(block)
+	}
 	n := r.w.size
 	m := len(block)
 	// Every block of out is overwritten below, so an uninitialized
@@ -301,6 +315,9 @@ func (r *Rank) alltoallImpl(data []byte, blockBytes int) []byte {
 	n := r.w.size
 	if len(data) != n*blockBytes {
 		panic(fmt.Sprintf("simmpi: Alltoall buffer %d bytes, want %d", len(data), n*blockBytes))
+	}
+	if r.w.rack != nil {
+		return r.hierAlltoall(data, blockBytes)
 	}
 	r.setAlgo("pairwise")
 	sizeOnly := r.w.cfg.SizeOnlyPayloads

@@ -1,0 +1,528 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"maia/internal/simtrace"
+	"maia/internal/vclock"
+)
+
+// The rack replay generalizes repeat.go's scalar-clock argument to
+// two-level worlds. In a rack of IDENTICAL nodes (same per-node layout
+// at every node, power-of-two node count) every hierarchical collective
+// phase is symmetric per LOCAL rank index:
+//
+//   - intra-node phases are the same local program on every node, so
+//     local rank j's clock is equal across all nodes at every point;
+//   - inter-node rounds pair each leader with a partner at the SAME hop
+//     distance (recursive doubling: popcount(mask); Gray-code ring: 1;
+//     XOR pairwise step s: popcount(s)), whose clock equals its own.
+//
+// One clock vector t[0..perNode) — a single representative node —
+// therefore reproduces all nodes*perNode rank clocks bit for bit,
+// replaying the exact send/recvAt float recurrences of the goroutine
+// engine. ~17k-rank worlds price in microseconds of wall clock.
+//
+// The replay refuses (falling back to the goroutine engine): fault
+// plans, non-power-of-two node counts, per-node layouts that differ
+// across nodes, Bcast (its binomial trees are asymmetric), and the
+// MAIA_NO_FASTPATH escape hatch — mirrors of repeat.go's refusals.
+
+// SeqStep is one step of a communication-pattern script: optional
+// compute followed by one operation. Scripts (see RunSeq / SeqTime)
+// describe an application's per-iteration shape — the NPB and OVERFLOW
+// rack drivers are scripts of a few SeqSteps.
+type SeqStep struct {
+	// Compute is charged to every rank before the operation.
+	Compute vclock.Time
+	// ComputePer, when non-nil, charges rank i ComputePer[i%len] —
+	// with len == ranksPerNode this is per-local-index compute,
+	// identical across nodes (the OVERFLOW host/Phi imbalance shape).
+	// It overrides Compute.
+	ComputePer []vclock.Time
+	// Kind selects the operation: BcastKind, AllreduceKind,
+	// AllgatherKind, AlltoallKind, PairKind, or ComputeStep.
+	Kind CollectiveKind
+	// Bytes is the per-rank payload: the block size for
+	// Allgather/Alltoall, the vector bytes for Allreduce, the message
+	// size for PairKind. Ignored by ComputeStep.
+	Bytes int
+}
+
+// rackRepeatable reports whether the world qualifies for the rack
+// replay at all: healthy (a plan that injects nothing IS the healthy
+// machine), power-of-two node count, identical nodes.
+func (w *World) rackRepeatable() bool {
+	if noFastPathEnv || w.cfg.Faults.Enabled() || w.rack == nil {
+		return false
+	}
+	if n := w.rack.nodes; n&(n-1) != 0 {
+		return false
+	}
+	R := w.rack.perNode
+	for i, l := range w.cfg.Ranks {
+		l0 := w.cfg.Ranks[i%R]
+		if l.Device != l0.Device || l.ThreadsPerCore != l0.ThreadsPerCore {
+			return false
+		}
+	}
+	return true
+}
+
+// rackStepReplayable reports whether one script step keeps the
+// per-local-index symmetry the replay rests on.
+func (w *World) rackStepReplayable(st SeqStep) bool {
+	R := w.rack.perNode
+	if st.ComputePer != nil && R%len(st.ComputePer) != 0 {
+		return false // would differ across nodes
+	}
+	switch st.Kind {
+	case ComputeStep, AllreduceKind, AllgatherKind, AlltoallKind:
+		return true
+	case PairKind:
+		// id^1 pairs stay intra-node when R is even; with one rank per
+		// node they are uniform one-hop leader exchanges. Odd R > 1
+		// mixes intra- and inter-node pairs and falls back.
+		return R == 1 || R%2 == 0
+	default:
+		return false // Bcast's binomial trees are not index-symmetric
+	}
+}
+
+// rackReplay is the clock vector of one representative node.
+type rackReplay struct {
+	w *World
+	// t[j] is local rank j's clock (equal across nodes by symmetry).
+	t []vclock.Time
+	// up[x] records a send's post time for the edge into local rank x
+	// (or, per phase, the single upward send of local rank x).
+	up []vclock.Time
+	// msgs/bytes count one node's traffic for the aggregated trace.
+	msgs, bytes int64
+}
+
+func newRackReplay(w *World) *rackReplay {
+	R := w.rack.perNode
+	return &rackReplay{w: w, t: make([]vclock.Time, R), up: make([]vclock.Time, R)}
+}
+
+// sendLocal mirrors Rank.send between two local ranks of the
+// representative node: records the post time, advances the sender by
+// the send-side cost, and returns the post time.
+func (s *rackReplay) sendLocal(src, dst, n int) vclock.Time {
+	tsPost := s.t[src]
+	sendSide, _, _ := s.w.transferCost(src, dst, n)
+	s.t[src] += sendSide
+	s.msgs++
+	s.bytes += int64(n)
+	return tsPost
+}
+
+// recvLocal mirrors recvAt on local rank dst for a message of n bytes
+// posted by local rank src at tsPost.
+func (s *rackReplay) recvLocal(dst, src, n int, tsPost vclock.Time) {
+	post := s.t[dst]
+	_, flight, rendezvous := s.w.transferCost(src, dst, n)
+	start := tsPost
+	if rendezvous {
+		start = vclock.Max(tsPost, post)
+	}
+	if done := start + flight; done > s.t[dst] {
+		s.t[dst] = done
+	}
+}
+
+// exchangeInter prices one leader round: send n bytes to the leader of
+// a node repNode hops away, receive the n bytes the symmetric partner
+// posted at the same clock. Exactly repeat.go's exchange, with the
+// fabric-priced inter-node transferCost.
+func (s *rackReplay) exchangeInter(repNode, n int) {
+	R := s.w.rack.perNode
+	tsPost := s.t[0]
+	sendSide, flight, rendezvous := s.w.transferCost(0, repNode*R, n)
+	s.t[0] += sendSide
+	start := tsPost
+	if rendezvous {
+		start = vclock.Max(tsPost, s.t[0])
+	}
+	if done := start + flight; done > s.t[0] {
+		s.t[0] = done
+	}
+	s.msgs++
+	s.bytes += int64(n)
+}
+
+// replayLocalGather replays the linear gather of n-byte payloads to the
+// node leader: every non-leader posts its send, then the leader
+// receives in ascending source order (hierAllgather/hierAlltoall
+// phase 1).
+func (s *rackReplay) replayLocalGather(n int) {
+	R := s.w.rack.perNode
+	if R == 1 {
+		return
+	}
+	for j := 1; j < R; j++ {
+		s.up[j] = s.sendLocal(j, 0, n)
+	}
+	for src := 1; src < R; src++ {
+		s.recvLocal(0, src, n, s.up[src])
+	}
+}
+
+// replayLocalScatter replays the leader's linear scatter of n-byte
+// payloads (hierAlltoall phase 3): sends in ascending destination
+// order, then each destination receives.
+func (s *rackReplay) replayLocalScatter(n int) {
+	R := s.w.rack.perNode
+	if R == 1 {
+		return
+	}
+	for l := 1; l < R; l++ {
+		s.up[l] = s.sendLocal(0, l, n)
+	}
+	for l := 1; l < R; l++ {
+		s.recvLocal(l, 0, n, s.up[l])
+	}
+}
+
+// replayLocalBcast replays the binomial broadcast of n-byte payloads
+// from the leader down the node. Ranks are processed in ascending local
+// index: a rank's parent (j - lowbit(j)) always precedes it, and each
+// rank's own receive-then-send program order is preserved.
+func (s *rackReplay) replayLocalBcast(n int) {
+	R := s.w.rack.perNode
+	if R == 1 {
+		return
+	}
+	for j := 0; j < R; j++ {
+		var mask int
+		if j != 0 {
+			mask = j & -j
+			s.recvLocal(j, j-mask, n, s.up[j])
+			mask >>= 1
+		} else {
+			mask = 1
+			for mask < R {
+				mask <<= 1
+			}
+			mask >>= 1
+		}
+		for ; mask > 0; mask >>= 1 {
+			if j+mask < R {
+				s.up[j+mask] = s.sendLocal(j, j+mask, n)
+			}
+		}
+	}
+}
+
+// replayLocalReduce replays the binomial reduce of n-byte payloads to
+// the node leader. Ranks are processed in descending local index: a
+// rank's children (j + mask) always precede it, so their upward send
+// times are recorded before j consumes them.
+func (s *rackReplay) replayLocalReduce(n int) {
+	R := s.w.rack.perNode
+	if R == 1 {
+		return
+	}
+	for j := R - 1; j >= 0; j-- {
+		mask := 1
+		for mask < R {
+			if j&mask != 0 {
+				s.up[j] = s.sendLocal(j, j-mask, n)
+				break
+			}
+			if j+mask < R {
+				s.recvLocal(j, j+mask, n, s.up[j+mask])
+			}
+			mask <<= 1
+		}
+	}
+}
+
+// replayStep replays one script step, mirroring the goroutine phase
+// structure of hier.go exactly. The caller has already verified
+// rackStepReplayable.
+func (s *rackReplay) replayStep(st SeqStep) string {
+	w := s.w
+	R, N := w.rack.perNode, w.rack.nodes
+	if st.ComputePer != nil {
+		L := len(st.ComputePer)
+		for j := 0; j < R; j++ {
+			if c := st.ComputePer[j%L]; c > 0 {
+				s.t[j] += c
+			}
+		}
+	} else if st.Compute > 0 {
+		for j := 0; j < R; j++ {
+			s.t[j] += st.Compute
+		}
+	}
+	switch st.Kind {
+	case ComputeStep:
+		return "compute"
+	case PairKind:
+		if R == 1 {
+			s.exchangeInter(1, st.Bytes)
+			return "pair-inter"
+		}
+		// All pairs (j, j^1) are intra-node: every rank posts its send,
+		// then receives its partner's.
+		for j := 0; j < R; j++ {
+			s.up[j] = s.sendLocal(j, j^1, st.Bytes)
+		}
+		for j := 0; j < R; j++ {
+			s.recvLocal(j, j^1, st.Bytes, s.up[j^1])
+		}
+		return "pair"
+	case AllreduceKind:
+		elems := st.Bytes / 8
+		if elems < 1 {
+			elems = 1
+		}
+		nb := 8 * elems
+		s.replayLocalReduce(nb)
+		for mask := 1; mask < N; mask <<= 1 {
+			s.exchangeInter(mask, nb)
+		}
+		s.replayLocalBcast(nb)
+		return "hier:rd"
+	case AllgatherKind:
+		m := st.Bytes
+		nb := R * m
+		s.replayLocalGather(m)
+		algo := "hier:rd"
+		if nb <= w.cfg.AllgatherSwitchBytes {
+			for mask := 1; mask < N; mask <<= 1 {
+				s.exchangeInter(mask, mask*nb)
+			}
+		} else {
+			// Gray-code ring: every step is a one-hop exchange of one
+			// node block; node 1 is the representative one-hop partner.
+			algo = "hier:gray-ring"
+			for step := 0; step < N-1; step++ {
+				s.exchangeInter(1, nb)
+			}
+		}
+		s.replayLocalBcast(N * nb)
+		return algo
+	case AlltoallKind:
+		m := st.Bytes
+		full := N * R * m
+		s.replayLocalGather(full)
+		for step := 1; step < N; step++ {
+			s.exchangeInter(step, R*R*m)
+		}
+		s.replayLocalScatter(full)
+		return "hier:pairwise"
+	default:
+		panic(fmt.Sprintf("simmpi: unreplayable kind %v", st.Kind))
+	}
+}
+
+// makespan returns the representative node's latest clock — by
+// symmetry, the world's.
+func (s *rackReplay) makespan() vclock.Time { return vclock.MaxOf(s.t...) }
+
+// rackRepeatSeq replays a script iters times on a rack world. ok is
+// false when the world or any step refuses the replay.
+func (w *World) rackRepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
+	if !w.rackRepeatable() {
+		return 0, false
+	}
+	for _, st := range steps {
+		if !w.rackStepReplayable(st) {
+			return 0, false
+		}
+	}
+	s := newRackReplay(w)
+	algo := ""
+	for i := 0; i < iters; i++ {
+		for _, st := range steps {
+			algo = s.replayStep(st)
+		}
+	}
+	if w.cfg.Tracer != nil {
+		name := fmt.Sprintf("rack-seq[%s] x%d", algo, iters)
+		if len(steps) == 1 && steps[0].Kind != ComputeStep {
+			name = fmt.Sprintf("%s[%s] x%d", steps[0].Kind, algo, iters)
+		}
+		w.traceRackRepeat(name, s)
+	}
+	return s.makespan(), true
+}
+
+// traceRackRepeat records the replayed batch as one aggregated span
+// plus the world-wide counters (one node's traffic times the node
+// count) a full run would have accumulated.
+func (w *World) traceRackRepeat(name string, s *rackReplay) {
+	tr := w.cfg.Tracer
+	track := w.cfg.TraceLabel
+	if track == "" {
+		track = "repeat"
+	}
+	nodes := int64(w.rack.nodes)
+	tr.Span(track, simtrace.CatMPI, name, 0, s.makespan(), s.bytes*nodes)
+	tr.Count(simtrace.CatMPI, "messages", s.msgs*nodes)
+	tr.Count(simtrace.CatMPI, "bytes", s.bytes*nodes)
+}
+
+// validateSeq rejects scripts no engine (replay or goroutine) can run.
+func (w *World) validateSeq(steps []SeqStep) error {
+	for i, st := range steps {
+		if st.Bytes < 0 || st.Compute < 0 {
+			return fmt.Errorf("simmpi: step %d has negative cost", i)
+		}
+		if st.ComputePer != nil && len(st.ComputePer) == 0 {
+			return fmt.Errorf("simmpi: step %d has empty ComputePer", i)
+		}
+		switch st.Kind {
+		case ComputeStep, BcastKind, AllreduceKind, AllgatherKind, AlltoallKind:
+		case PairKind:
+			if w.size%2 != 0 {
+				return fmt.Errorf("simmpi: step %d pairs id^1 in an odd %d-rank world", i, w.size)
+			}
+		default:
+			return fmt.Errorf("simmpi: step %d has unknown kind %v", i, st.Kind)
+		}
+	}
+	return nil
+}
+
+// seqBody is the goroutine-engine execution of a script: the fallback
+// the replay is pinned against, and the only path under fault plans or
+// MAIA_NO_FASTPATH.
+func seqBody(r *Rank, steps []SeqStep, iters int) {
+	n := r.Size()
+	for it := 0; it < iters; it++ {
+		for _, st := range steps {
+			c := st.Compute
+			if st.ComputePer != nil {
+				c = st.ComputePer[r.ID()%len(st.ComputePer)]
+			}
+			if c > 0 {
+				r.Compute(c)
+			}
+			switch st.Kind {
+			case ComputeStep:
+			case PairKind:
+				partner := r.ID() ^ 1
+				buf := GetPayload(st.Bytes)
+				Recycle(r.Sendrecv(partner, 0, buf, partner, 0))
+				Recycle(buf)
+			case BcastKind:
+				buf := GetPayload(st.Bytes)
+				out := r.Bcast(0, buf)
+				if r.ID() != 0 {
+					Recycle(out)
+				}
+				Recycle(buf)
+			case AllreduceKind:
+				elems := st.Bytes / 8
+				if elems < 1 {
+					elems = 1
+				}
+				vec := f64Pool.Get(elems)
+				RecycleF64(r.Allreduce(vec, OpSum))
+				RecycleF64(vec)
+			case AllgatherKind:
+				buf := GetPayload(st.Bytes)
+				Recycle(r.Allgather(buf))
+				Recycle(buf)
+			case AlltoallKind:
+				buf := GetPayload(n * st.Bytes)
+				Recycle(r.Alltoall(buf, st.Bytes))
+				Recycle(buf)
+			}
+		}
+	}
+}
+
+// RunSeq executes a script on the goroutine engine (one goroutine per
+// rank). Most callers want SeqTime, which replays when it can.
+func (w *World) RunSeq(steps []SeqStep, iters int) error {
+	if err := w.validateSeq(steps); err != nil {
+		return err
+	}
+	return w.Run(func(r *Rank) { seqBody(r, steps, iters) })
+}
+
+// RepeatSeq prices a script in closed form when the world and every
+// step qualify: flat symmetric worlds replay with repeat.go's scalar
+// clock, node-major rack worlds with the per-local-index clock vector.
+// ok is false when the goroutine engine is needed.
+func (w *World) RepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
+	if w.rack != nil {
+		return w.rackRepeatSeq(steps, iters)
+	}
+	return w.flatRepeatSeq(steps, iters)
+}
+
+// flatRepeatSeq replays a script on a flat symmetric world.
+func (w *World) flatRepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
+	if !w.repeatable() {
+		return 0, false
+	}
+	for _, st := range steps {
+		if st.ComputePer != nil {
+			return 0, false // per-rank compute breaks flat symmetry
+		}
+		switch st.Kind {
+		case ComputeStep, AllgatherKind, AlltoallKind:
+		case PairKind:
+			if w.size%2 != 0 {
+				return 0, false
+			}
+		case AllreduceKind:
+			if w.size&(w.size-1) != 0 {
+				return 0, false
+			}
+		default:
+			return 0, false
+		}
+	}
+	s := symReplay{w: w}
+	for i := 0; i < iters; i++ {
+		for _, st := range steps {
+			if st.Compute > 0 {
+				s.t += st.Compute
+			}
+			switch st.Kind {
+			case ComputeStep:
+			case PairKind:
+				s.exchange(st.Bytes)
+			default:
+				if _, ok := w.replayOnce(&s, st.Kind, st.Bytes); !ok {
+					return 0, false
+				}
+			}
+		}
+	}
+	if w.cfg.Tracer != nil {
+		w.traceRepeat(fmt.Sprintf("seq x%d", iters), &s)
+	}
+	return s.t, true
+}
+
+// SeqTime builds a world and prices a script run of iters iterations:
+// in closed form when the replay qualifies (rack worlds of identical
+// nodes, flat symmetric worlds), on the goroutine engine otherwise.
+// Scripts never read payload contents, so the world runs size-only.
+// With a tracer attached the replay emits one aggregated span — rack
+// experiments stay traceable without goroutine-running ~17k ranks.
+func SeqTime(cfg Config, steps []SeqStep, iters int, opts ...Option) (vclock.Time, error) {
+	cfg.SizeOnlyPayloads = true
+	w, err := NewWorld(cfg, opts...)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.validateSeq(steps); err != nil {
+		return 0, err
+	}
+	if total, ok := w.RepeatSeq(steps, iters); ok {
+		return total, nil
+	}
+	if err := w.RunSeq(steps, iters); err != nil {
+		return 0, err
+	}
+	return w.MaxTime(), nil
+}

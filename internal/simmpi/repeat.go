@@ -122,6 +122,10 @@ func (w *World) repeatable() bool {
 // span covering the whole batch (name "op[algo] xN") instead of the
 // per-operation spans of a full run.
 func (w *World) RepeatOp(kind CollectiveKind, msgBytes, iters int) (vclock.Time, bool) {
+	if w.rack != nil {
+		// Two-level worlds replay hierarchically (hierrepeat.go).
+		return w.rackRepeatSeq([]SeqStep{{Kind: kind, Bytes: msgBytes}}, iters)
+	}
 	if !w.repeatable() {
 		return 0, false
 	}
@@ -144,6 +148,11 @@ func (w *World) RepeatOp(kind CollectiveKind, msgBytes, iters int) (vclock.Time,
 // right and receives msgBytes from the left, the Figure 10 loop) under
 // the same eligibility rules as RepeatOp.
 func (w *World) RepeatSendrecv(msgBytes, iters int) (vclock.Time, bool) {
+	if w.rack != nil {
+		// The ring's node-boundary exchanges cross varying hop counts;
+		// rack worlds take the goroutine engine.
+		return 0, false
+	}
 	if !w.repeatable() {
 		return 0, false
 	}

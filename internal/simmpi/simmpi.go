@@ -88,6 +88,15 @@ type Config struct {
 	// clock, never wall clock. Nil (or an empty plan) is the healthy
 	// machine and leaves every modeled number bit-identical.
 	Faults *simfault.Plan
+	// Fabric, when non-nil, prices inter-node messages over the rack's
+	// hypercube topology (hop-count latency and bandwidth derating)
+	// instead of the flat single-hop constants. When the placement is
+	// node-major (rank i on node i/perNode, equal blocks, >= 2 nodes)
+	// the world additionally becomes two-level: collectives decompose
+	// into an intra-node phase, an inter-node phase among node leaders,
+	// and an intra-node distribution phase (see hier.go). Nil keeps the
+	// single-node model and the legacy flat two-host constants.
+	Fabric *machine.InterNodeFabric
 }
 
 // Option adjusts a Config at world construction. Options are the one
@@ -119,6 +128,13 @@ func WithStack(s *pcie.Stack) Option {
 	return func(c *Config) { c.Stack = s }
 }
 
+// WithFabric attaches the rack-level interconnect model: inter-node
+// messages are then priced by hypercube hop count, and node-major worlds
+// run hierarchical collectives. A nil fabric keeps the single-node model.
+func WithFabric(f *machine.InterNodeFabric) Option {
+	return func(c *Config) { c.Fabric = f }
+}
+
 // HostPlacement places n ranks on the host at the given threads per core.
 func HostPlacement(n, threadsPerCore int) []Location {
 	locs := make([]Location, n)
@@ -133,6 +149,31 @@ func PhiPlacement(dev machine.Device, n, threadsPerCore int) []Location {
 	locs := make([]Location, n)
 	for i := range locs {
 		locs[i] = Location{Device: dev, ThreadsPerCore: threadsPerCore}
+	}
+	return locs
+}
+
+// RackPlacement places nodes x perNode ranks node-major: rank i lives on
+// node i/perNode, all on the same device at the given threads per core.
+// Pair it with WithFabric to build a two-level rack world.
+func RackPlacement(dev machine.Device, nodes, perNode, threadsPerCore int) []Location {
+	locs := make([]Location, nodes*perNode)
+	for i := range locs {
+		locs[i] = Location{Device: dev, ThreadsPerCore: threadsPerCore, Node: i / perNode}
+	}
+	return locs
+}
+
+// ReplicateNodes tiles one node's rank layout across nodes, node-major:
+// rank i is nodeLocs[i%len(nodeLocs)] placed on node i/len(nodeLocs).
+// Use it for mixed host+Phi per-node layouts at rack scale.
+func ReplicateNodes(nodeLocs []Location, nodes int) []Location {
+	per := len(nodeLocs)
+	locs := make([]Location, nodes*per)
+	for i := range locs {
+		l := nodeLocs[i%per]
+		l.Node = i / per
+		locs[i] = l
 	}
 	return locs
 }
@@ -215,6 +256,10 @@ type World struct {
 	// healthy pair); nil when the plan degrades no fabric, so the hot
 	// path pays one nil check.
 	faults []*simfault.FabricFault
+
+	// rack is non-nil when a fabric is attached and the placement is
+	// node-major: collectives then run hierarchically (see hier.go).
+	rack *rackInfo
 }
 
 // NewWorld validates cfg, applies opts, and builds a world.
@@ -228,6 +273,10 @@ func NewWorld(cfg Config, opts ...Option) (*World, error) {
 	for i, l := range cfg.Ranks {
 		if l.ThreadsPerCore < 1 {
 			return nil, fmt.Errorf("simmpi: rank %d has %d threads per core", i, l.ThreadsPerCore)
+		}
+		if cfg.Fabric != nil && (l.Node < 0 || l.Node >= cfg.Fabric.Nodes) {
+			return nil, fmt.Errorf("simmpi: rank %d on node %d outside the %d-node fabric",
+				i, l.Node, cfg.Fabric.Nodes)
 		}
 	}
 	if cfg.Stack == nil {
@@ -252,6 +301,7 @@ func NewWorld(cfg Config, opts ...Option) (*World, error) {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
+	w.rack = deriveRack(&cfg)
 	if cfg.Tracer != nil {
 		w.tracks = make([]string, w.size)
 		for i := range w.tracks {
@@ -386,9 +436,17 @@ func (w *World) transferCost(a, b int, n int) (sendSide, flight vclock.Time, ren
 	rendezvous = n > w.cfg.EagerMaxBytes
 	if la.Node != lb.Node {
 		// Inter-node: 4x FDR InfiniBand. A Phi endpoint adds its PCIe
-		// leg to reach the HCA.
+		// leg to reach the HCA. With a fabric attached the hypercube
+		// hop count sets latency and derated bandwidth; without one the
+		// legacy flat single-hop constants apply (which the fabric's
+		// one-hop calibration reproduces exactly).
 		alpha := 1.8 * vclock.Microsecond
 		gbs := 5.8
+		if f := w.cfg.Fabric; f != nil {
+			hops := f.HopCount(la.Node, lb.Node)
+			alpha = f.Alpha(hops)
+			gbs = f.HopGBs(hops)
+		}
 		for _, l := range []Location{la, lb} {
 			if l.Device.IsPhi() {
 				path := pciePath(machine.Host, l.Device)

@@ -72,6 +72,18 @@ func Min(a, b Time) Time {
 	return b
 }
 
+// MaxOf returns the latest of a set of times: the makespan of a group of
+// agents' clocks. An empty set has makespan zero.
+func MaxOf(ts ...Time) Time {
+	var m Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
 // Clock is the virtual clock of one simulated agent.
 //
 // The zero value is a clock at virtual time zero, ready to use.

@@ -84,6 +84,9 @@ func TestMaxMin(t *testing.T) {
 	if Min(1, 2) != 1 || Min(2, 1) != 1 {
 		t.Fatal("Min broken")
 	}
+	if MaxOf() != 0 || MaxOf(3) != 3 || MaxOf(1, 5, 2) != 5 {
+		t.Fatal("MaxOf broken")
+	}
 }
 
 func TestTimeString(t *testing.T) {
