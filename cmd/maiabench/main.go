@@ -18,8 +18,10 @@
 // With -faults the whole run is re-priced on a deterministically
 // degraded machine: a named simfault plan (stragglers, thermal
 // throttling, lossy PCIe, a dead coprocessor) threads into every
-// runtime the experiments construct. Golden verification is
-// healthy-machine only, so -faults rejects -verify/-update.
+// runtime the experiments construct, and -seed re-rolls the plan's
+// random decisions into a different degraded machine. Golden
+// verification is healthy-machine only, so -faults rejects
+// -verify/-update.
 //
 // With -nodes the ext-rack experiments cap their node sweeps at the
 // given power-of-two count instead of the full 128-node system. Golden
@@ -48,7 +50,6 @@ import (
 
 	"maia/internal/harness"
 	"maia/internal/simfault"
-	"maia/internal/simtrace"
 )
 
 func main() {
@@ -61,7 +62,6 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("maiabench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list available experiments and exit")
-	quick := fs.Bool("quick", false, "trim sweep densities for a fast pass")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "experiment worker count (1 = sequential)")
 	verify := fs.Bool("verify", false, "compare output against golden snapshots instead of printing")
 	update := fs.Bool("update", false, "regenerate golden snapshot files and exit")
@@ -70,46 +70,28 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "print per-experiment wall time and output size to stderr")
 	benchJSON := fs.String("benchjson", "", "append per-experiment wall-clock and allocation stats as a labeled run to this JSON file")
 	benchLabel := fs.String("benchlabel", "run", "label for the -benchjson run entry")
-	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of all virtual-time spans to this file (load at ui.perfetto.dev)")
-	traceSummary := fs.Bool("trace-summary", false, "print the per-category trace time/bytes summary after the run")
-	faults := fs.String("faults", "", "run under a named fault plan (see -list for the catalog); incompatible with -verify/-update")
-	nodes := fs.Int("nodes", 0, "cap the ext-rack node sweeps at this power-of-two node count (0 = full 128-node system); incompatible with -verify/-update")
+	jf := harness.AddJobFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
-			"usage: maiabench [-quick] [-parallel N] [-faults PLAN] [-nodes N] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
+			"usage: maiabench [-quick] [-parallel N] [-faults PLAN [-seed S]] [-nodes N] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *nodes != 0 {
-		if *verify || *update {
-			return fmt.Errorf("golden snapshots sweep the full rack: drop -nodes with -verify/-update")
-		}
-		if *nodes < 2 || *nodes > 128 || *nodes&(*nodes-1) != 0 {
-			return fmt.Errorf("-nodes must be a power of two in 2..128, got %d", *nodes)
-		}
+	if jf.Nodes != 0 && (*verify || *update) {
+		return fmt.Errorf("golden snapshots sweep the full rack: drop -nodes with -verify/-update")
+	}
+	if (jf.Faults != "" || jf.Seed != 0) && (*verify || *update) {
+		return fmt.Errorf("golden snapshots are healthy-machine: drop -faults/-seed with -verify/-update")
 	}
 
 	reg := harness.Paper()
 
-	var plan *simfault.Plan
-	if *faults != "" {
-		if *verify || *update {
-			return fmt.Errorf("golden snapshots are healthy-machine: drop -faults with -verify/-update")
-		}
-		var err error
-		if plan, err = simfault.ByName(*faults); err != nil {
-			return err
-		}
+	env, tracer, err := jf.Env()
+	if err != nil {
+		return err
 	}
-
-	var tracer *simtrace.Tracer
-	if *tracePath != "" || *traceSummary {
-		tracer = simtrace.New()
-	}
-	env := harness.DefaultEnv(harness.WithQuick(*quick), harness.WithTracer(tracer),
-		harness.WithFaults(plan), harness.WithRackNodes(*nodes))
 
 	if *list {
 		for _, e := range reg.All() {
@@ -132,12 +114,12 @@ func run(args []string) error {
 
 	switch {
 	case *update:
-		if *quick {
+		if jf.Quick {
 			return fmt.Errorf("golden snapshots are full-mode: drop -quick with -update")
 		}
 		return harness.UpdateGolden(*goldenDir, env, exps)
 	case *verify:
-		if *quick {
+		if jf.Quick {
 			return fmt.Errorf("golden snapshots are full-mode: drop -quick with -verify")
 		}
 		if err := harness.VerifyGolden(env, exps, goldenSource(*goldenDir)); err != nil {
@@ -151,7 +133,7 @@ func run(args []string) error {
 	results, err := harness.RunExperiments(os.Stdout, env, exps, *parallel)
 	total := time.Since(start)
 	if *benchJSON != "" {
-		run := harness.NewBenchRun(*benchLabel, *quick, *parallel, total, results)
+		run := harness.NewBenchRun(*benchLabel, jf.Quick, *parallel, total, results)
 		if berr := harness.AppendBenchJSON(*benchJSON, run); berr != nil && err == nil {
 			err = berr
 		} else if berr == nil {
@@ -168,38 +150,10 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "%-22s %10v %7d B  %s\n", r.ID, r.Wall.Round(1e6), r.Bytes, status)
 		}
 	}
-	if terr := writeTrace(tracer, *tracePath, *traceSummary); terr != nil && err == nil {
+	if terr := jf.WriteTrace(tracer, os.Stdout); terr != nil && err == nil {
 		err = terr
 	}
 	return err
-}
-
-// writeTrace exports what the tracer collected: Chrome JSON to path
-// (when set) and/or the text summary to stdout. Exports run even after
-// a failed experiment — a partial trace is exactly what explains a
-// failure.
-func writeTrace(tracer *simtrace.Tracer, path string, summary bool) error {
-	if tracer == nil {
-		return nil
-	}
-	if path != "" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := tracer.WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "maiabench: wrote %d spans to %s\n", tracer.SpanCount(), path)
-	}
-	if summary {
-		return tracer.Summary().WriteText(os.Stdout)
-	}
-	return nil
 }
 
 // selectExperiments resolves CLI arguments to experiments: the single

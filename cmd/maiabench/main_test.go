@@ -132,3 +132,17 @@ func TestRunTraceBadPath(t *testing.T) {
 		t.Fatal("unwritable trace path accepted")
 	}
 }
+
+// The shared -seed flag re-rolls a fault plan's decisions; without
+// -faults it is rejected, and with -verify it is rejected like -faults.
+func TestRunFaultSeed(t *testing.T) {
+	if err := run([]string{"-quick", "-faults", "lossy-pcie", "-seed", "11", "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-seed", "11", "fig7"}); err == nil {
+		t.Fatal("-seed without -faults accepted")
+	}
+	if err := run([]string{"-verify", "-faults", "lossy-pcie", "-seed", "11", "fig7"}); err == nil {
+		t.Fatal("-seed with -verify accepted")
+	}
+}

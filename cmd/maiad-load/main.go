@@ -1,0 +1,282 @@
+// Command maiad-load drives sustained traffic against a running maiad
+// server and reports what it measured. Each client loops until the
+// deadline, flipping a weighted coin per request: hot jobs replay specs
+// the cache already holds (the golden-seeded defaults plus quick specs
+// the run itself warms), cold jobs mint never-seen-before cache keys by
+// pairing a cheap quick experiment with a fault plan and a fresh seed —
+// so the mix exercises the cache, the coalescer, and the engine at a
+// controlled ratio.
+//
+// The report (throughput, client-side latency quantiles, cache-status
+// counts, and the server's own final /metrics snapshot) is written as
+// JSON to -out and summarized on stderr. -min-rps and -min-hit-ratio
+// turn the run into a pass/fail gate for CI.
+//
+// Usage:
+//
+//	maiad-load -addr http://127.0.0.1:8750 -duration 60s -out BENCH_PR7.json
+//	maiad-load -addr http://127.0.0.1:8750 -duration 10s -clients 2 -min-rps 50 -min-hit-ratio 0.5
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maia/internal/harness"
+	"maia/internal/maiad"
+)
+
+// cheapExperiments are quick-mode experiments that render in ~a
+// millisecond on one CPU — the pool both the hot replay and the cold
+// seed-minting draw from, so the offered load is bounded by HTTP and
+// cache machinery rather than simulation depth.
+var cheapExperiments = []string{"fig7", "fig10", "fig13", "fig15", "fig16", "fig17", "fig22", "table1"}
+
+// coldFaultPlan is the catalog plan cold jobs re-seed; any plan works,
+// it only has to make each distinct seed a distinct content address.
+const coldFaultPlan = "phi-straggler"
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "maiad-load:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON document a load run writes: the offered-load
+// shape, the client-observed results, and the server's final metrics.
+type Report struct {
+	// SchemaVersion is the report wire version.
+	SchemaVersion int `json:"schema_version"`
+	// Label names the run; Time stamps it.
+	Label string `json:"label"`
+	Time  string `json:"time"`
+	// Addr, DurationNs, Clients, HotFraction describe the offered load.
+	Addr        string  `json:"addr"`
+	DurationNs  int64   `json:"duration_ns"`
+	Clients     int     `json:"clients"`
+	HotFraction float64 `json:"hot_fraction"`
+	// Requests and Errors count completed calls.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// ThroughputRPS is Requests over the elapsed wall clock.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// MeanNs through MaxNs summarize client-observed request latency.
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	// Hits, Misses, Coalesced count the cache statuses clients saw.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	// HitRatio is Hits over Requests.
+	HitRatio float64 `json:"hit_ratio"`
+	// Server is the server's own /metrics snapshot after the run.
+	Server maiad.Snapshot `json:"server"`
+}
+
+func run(args []string, logw io.Writer) error {
+	flags := flag.NewFlagSet("maiad-load", flag.ContinueOnError)
+	addr := flags.String("addr", "http://127.0.0.1:8750", "maiad base URL")
+	duration := flags.Duration("duration", 60*time.Second, "how long to offer load")
+	clients := flags.Int("clients", 4, "concurrent client loops")
+	hot := flags.Float64("hot", 0.9, "fraction of requests replaying cacheable specs (0..1)")
+	out := flags.String("out", "", "write the JSON report to this file")
+	label := flags.String("label", "maiad-load", "label for the report")
+	minRPS := flags.Float64("min-rps", 0, "fail unless throughput reaches this many req/s")
+	minHitRatio := flags.Float64("min-hit-ratio", 0, "fail unless the cache hit ratio reaches this")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 {
+		return fmt.Errorf("need at least one client")
+	}
+	if *hot < 0 || *hot > 1 {
+		return fmt.Errorf("-hot %v outside [0,1]", *hot)
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	if err := waitHealthy(base, 5*time.Second); err != nil {
+		return err
+	}
+
+	// The hot pool: every cheap experiment's golden-seeded default spec
+	// plus its quick spec (cold on the first draw, a hit forever after).
+	hotPool := make([][]byte, 0, 2*len(cheapExperiments))
+	for _, id := range cheapExperiments {
+		hotPool = append(hotPool,
+			harness.JobSpec{Experiment: id}.MarshalCanonical(),
+			harness.JobSpec{Experiment: id, Quick: true}.MarshalCanonical())
+	}
+
+	var (
+		hist      maiad.Histogram
+		requests  atomic.Int64
+		errorsN   atomic.Int64
+		hits      atomic.Int64
+		misses    atomic.Int64
+		coalesced atomic.Int64
+		coldSeq   atomic.Uint64
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			for time.Now().Before(deadline) {
+				var body []byte
+				if rng.Float64() < *hot {
+					body = hotPool[rng.Intn(len(hotPool))]
+				} else {
+					body = (harness.JobSpec{
+						Experiment: cheapExperiments[rng.Intn(len(cheapExperiments))],
+						Quick:      true,
+						FaultPlan:  coldFaultPlan,
+						Seed:       coldSeq.Add(1),
+					}).MarshalCanonical()
+				}
+				start := time.Now()
+				status, err := postJob(client, base+"/v1/jobs", body)
+				hist.Observe(time.Since(start))
+				requests.Add(1)
+				switch {
+				case err != nil:
+					errorsN.Add(1)
+				case status == maiad.CacheHit:
+					hits.Add(1)
+				case status == maiad.CacheMiss:
+					misses.Add(1)
+				case status == maiad.CacheCoalesced:
+					coalesced.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := *duration
+
+	snap, err := fetchSnapshot(client, base)
+	if err != nil {
+		return fmt.Errorf("final metrics snapshot: %w", err)
+	}
+
+	n := requests.Load()
+	rep := Report{
+		SchemaVersion: 1,
+		Label:         *label,
+		Time:          time.Now().UTC().Format(time.RFC3339),
+		Addr:          base,
+		DurationNs:    elapsed.Nanoseconds(),
+		Clients:       *clients,
+		HotFraction:   *hot,
+		Requests:      n,
+		Errors:        errorsN.Load(),
+		ThroughputRPS: float64(n) / elapsed.Seconds(),
+		MeanNs:        hist.Mean().Nanoseconds(),
+		P50Ns:         hist.Quantile(0.50).Nanoseconds(),
+		P95Ns:         hist.Quantile(0.95).Nanoseconds(),
+		P99Ns:         hist.Quantile(0.99).Nanoseconds(),
+		MaxNs:         hist.Max().Nanoseconds(),
+		Hits:          hits.Load(),
+		Misses:        misses.Load(),
+		Coalesced:     coalesced.Load(),
+		Server:        snap,
+	}
+	if n > 0 {
+		rep.HitRatio = float64(rep.Hits) / float64(n)
+	}
+
+	fmt.Fprintf(logw,
+		"maiad-load: %d requests in %v (%.1f req/s), p50 %v p95 %v p99 %v, %d hits %d misses %d coalesced %d errors (hit ratio %.3f)\n",
+		n, elapsed, rep.ThroughputRPS,
+		time.Duration(rep.P50Ns), time.Duration(rep.P95Ns), time.Duration(rep.P99Ns),
+		rep.Hits, rep.Misses, rep.Coalesced, rep.Errors, rep.HitRatio)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "maiad-load: wrote report to %s\n", *out)
+	}
+
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, n)
+	}
+	if *minRPS > 0 && rep.ThroughputRPS < *minRPS {
+		return fmt.Errorf("throughput %.1f req/s below the %.1f floor", rep.ThroughputRPS, *minRPS)
+	}
+	if *minHitRatio > 0 && rep.HitRatio < *minHitRatio {
+		return fmt.Errorf("hit ratio %.3f below the %.3f floor", rep.HitRatio, *minHitRatio)
+	}
+	return nil
+}
+
+// waitHealthy polls /healthz until the server answers or the window
+// closes, so the load run can start the moment a freshly-booted maiad
+// is ready.
+func waitHealthy(base string, window time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(window)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v: %v", base, window, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// postJob submits one spec and returns the cache status the server
+// reported.
+func postJob(client *http.Client, url string, body []byte) (string, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var jr maiad.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return jr.Cache, nil
+}
+
+// fetchSnapshot grabs the server's JSON metrics snapshot.
+func fetchSnapshot(client *http.Client, base string) (maiad.Snapshot, error) {
+	var snap maiad.Snapshot
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}

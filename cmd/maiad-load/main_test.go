@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maia/internal/harness"
+	"maia/internal/maiad"
+)
+
+// A short run against an in-process golden-seeded server completes
+// without request errors and writes a coherent report.
+func TestLoadRun(t *testing.T) {
+	s, err := maiad.New(maiad.Config{Golden: harness.EmbeddedGolden(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	var log strings.Builder
+	err = run([]string{
+		"-addr", ts.URL,
+		"-duration", "1s",
+		"-clients", "2",
+		"-out", out,
+		"-label", "smoke",
+		"-min-rps", "5",
+		"-min-hit-ratio", "0.2",
+	}, &log)
+	if err != nil {
+		t.Fatalf("load run failed: %v\nlog:\n%s", err, log.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "smoke" || rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Hits == 0 || rep.HitRatio <= 0 {
+		t.Errorf("no cache hits observed: %+v", rep)
+	}
+	if rep.P50Ns <= 0 || rep.P99Ns < rep.P50Ns {
+		t.Errorf("latency quantiles incoherent: p50=%d p99=%d", rep.P50Ns, rep.P99Ns)
+	}
+	if rep.Server.EngineRuns == 0 {
+		t.Errorf("cold jobs never reached the engine: %+v", rep.Server)
+	}
+	if rep.Hits+rep.Misses+rep.Coalesced != rep.Requests {
+		t.Errorf("status counts %d+%d+%d don't sum to %d requests",
+			rep.Hits, rep.Misses, rep.Coalesced, rep.Requests)
+	}
+}
+
+// The gate flags fail the run when the floor is unreachable.
+func TestLoadGates(t *testing.T) {
+	s, err := maiad.New(maiad.Config{Golden: harness.EmbeddedGolden(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var log strings.Builder
+	err = run([]string{
+		"-addr", ts.URL,
+		"-duration", "300ms",
+		"-clients", "1",
+		"-min-rps", "1000000",
+	}, &log)
+	if err == nil || !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("unreachable rps floor did not fail the run: %v", err)
+	}
+}
+
+// Bad flags and an unreachable server fail fast.
+func TestLoadErrors(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"-clients", "0"}, &log); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if err := run([]string{"-hot", "1.5"}, &log); err == nil {
+		t.Error("hot fraction above 1 accepted")
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "100ms"}, &log); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}

@@ -10,6 +10,12 @@
 // class only scales EP, CG and IS here); paper-scale performance is the
 // job of cmd/maiabench, which prices class C through the execution
 // model.
+//
+// npbrun shares maiabench's flag surface for tracing (-trace,
+// -trace-summary) and fault injection (-faults, -seed): a fault plan
+// derates the simulated OpenMP runtime's virtual time (visible in the
+// trace output), while the kernels' numerical results — and their
+// verification — are unaffected by design.
 package main
 
 import (
@@ -20,10 +26,10 @@ import (
 	"os"
 	"strings"
 
+	"maia/internal/harness"
 	"maia/internal/machine"
 	"maia/internal/npb"
 	"maia/internal/simomp"
-	"maia/internal/simtrace"
 )
 
 func main() {
@@ -45,21 +51,24 @@ func run(args []string, w io.Writer) error {
 	class := fs.String("class", "S", "problem class for EP/CG/IS (S or W)")
 	threads := fs.Int("threads", 8, "simulated OpenMP team width")
 	mpiRanks := fs.Int("mpi", 0, "also run every distributed-memory kernel with this many MPI ranks")
-	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the kernels' OpenMP constructs to this file")
-	traceSummary := fs.Bool("trace-summary", false, "print a per-category trace summary after the run")
+	jf := &harness.JobFlags{}
+	jf.RegisterTrace(fs)
+	jf.RegisterFaults(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var tracer *simtrace.Tracer
-	if *tracePath != "" || *traceSummary {
-		tracer = simtrace.New()
-		tracer.SetProcess("npbrun")
+	plan, err := jf.FaultPlan()
+	if err != nil {
+		return err
 	}
+
+	tracer := jf.NewTracer()
+	tracer.SetProcess("npbrun")
 
 	kernels := map[string]func() error{}
 	rt := simomp.New(machine.HostCoresPartition(machine.NewNode(), *threads, 1),
-		simomp.WithTracer(tracer, fmt.Sprintf("omp:host%d", *threads)))
+		simomp.WithTracer(tracer, fmt.Sprintf("omp:host%d", *threads)),
+		simomp.WithFaultPlan(plan))
 	team := simomp.NewTeam(rt)
 	kernels["ep"] = func() error { return runEP(w, *class, team, *mpiRanks) }
 	kernels["cg"] = func() error { return runCG(w, *class, team, *mpiRanks) }
@@ -92,28 +101,7 @@ func run(args []string, w io.Writer) error {
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark(s) failed verification", failed)
 	}
-	if tracer != nil {
-		if *tracePath != "" {
-			f, err := os.Create(*tracePath)
-			if err != nil {
-				return err
-			}
-			if err := tracer.WriteChrome(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "npbrun: wrote %d spans to %s\n", tracer.SpanCount(), *tracePath)
-		}
-		if *traceSummary {
-			if err := tracer.Summary().WriteText(w); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return jf.WriteTrace(tracer, w)
 }
 
 func runEP(w io.Writer, class string, team *simomp.Team, mpiRanks int) error {

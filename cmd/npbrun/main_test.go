@@ -48,3 +48,22 @@ func TestRunRejectsBadArgs(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// The shared fault surface threads into the simulated OpenMP runtime:
+// kernel verification is unaffected, unknown plans and orphan seeds are
+// rejected exactly like maiabench.
+func TestRunWithFaultPlan(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench", "ep", "-faults", "phi-straggler", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "VERIFIED") {
+		t.Errorf("EP did not verify under a fault plan:\n%s", buf.String())
+	}
+	if err := run([]string{"-bench", "ep", "-faults", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown fault plan accepted")
+	}
+	if err := run([]string{"-bench", "ep", "-seed", "7"}, &bytes.Buffer{}); err == nil {
+		t.Error("-seed without -faults accepted")
+	}
+}

@@ -9,17 +9,6 @@ import (
 	"time"
 )
 
-// BenchExperiment is the wall-clock and allocation record of one
-// experiment inside a BenchRun.
-type BenchExperiment struct {
-	ID         string `json:"id"`
-	WallNs     int64  `json:"wall_ns"`
-	Bytes      int    `json:"output_bytes"`
-	Mallocs    uint64 `json:"mallocs"`
-	AllocBytes uint64 `json:"alloc_bytes"`
-	Error      string `json:"error,omitempty"`
-}
-
 // BenchSlowest is one entry of a run's slowest-experiments summary:
 // the experiment's wall time and its share of the run's summed
 // experiment wall time.
@@ -34,17 +23,20 @@ type BenchSlowest struct {
 // times the experiments themselves report. Runs accumulate in a JSON
 // file so before/after comparisons live side by side.
 type BenchRun struct {
-	Label       string            `json:"label"`
-	Time        string            `json:"time,omitempty"`
-	GoVersion   string            `json:"go_version"`
-	GOOS        string            `json:"goos"`
-	GOARCH      string            `json:"goarch"`
-	NumCPU      int               `json:"num_cpu"`
-	Workers     int               `json:"workers"`
-	Quick       bool              `json:"quick"`
-	TotalWallNs int64             `json:"total_wall_ns"`
-	Slowest     []BenchSlowest    `json:"slowest,omitempty"`
-	Experiments []BenchExperiment `json:"experiments"`
+	Label       string         `json:"label"`
+	Time        string         `json:"time,omitempty"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	NumCPU      int            `json:"num_cpu"`
+	Workers     int            `json:"workers"`
+	Quick       bool           `json:"quick"`
+	TotalWallNs int64          `json:"total_wall_ns"`
+	Slowest     []BenchSlowest `json:"slowest,omitempty"`
+	// Experiments are the per-experiment records in the versioned
+	// Result wire format — the same encoding maiad serves, so bench
+	// files and cache entries can never drift apart.
+	Experiments []Result `json:"experiments"`
 }
 
 // NewBenchRun assembles a BenchRun from engine results. Per-experiment
@@ -61,20 +53,10 @@ func NewBenchRun(label string, quick bool, workers int, total time.Duration, res
 		Workers:     workers,
 		Quick:       quick,
 		TotalWallNs: total.Nanoseconds(),
-		Experiments: make([]BenchExperiment, 0, len(results)),
+		Experiments: make([]Result, 0, len(results)),
 	}
 	for _, r := range results {
-		be := BenchExperiment{
-			ID:         r.ID,
-			WallNs:     r.Wall.Nanoseconds(),
-			Bytes:      r.Bytes,
-			Mallocs:    r.Mallocs,
-			AllocBytes: r.AllocBytes,
-		}
-		if r.Err != nil {
-			be.Error = r.Err.Error()
-		}
-		run.Experiments = append(run.Experiments, be)
+		run.Experiments = append(run.Experiments, r.Wire())
 	}
 	run.Slowest = slowestOf(run.Experiments, 5)
 	return run
@@ -83,29 +65,29 @@ func NewBenchRun(label string, quick bool, workers int, total time.Duration, res
 // slowestOf ranks the top-k experiments by wall time, with each entry's
 // share of the summed experiment wall time (which differs from the
 // run's elapsed total under parallel workers).
-func slowestOf(exps []BenchExperiment, k int) []BenchSlowest {
+func slowestOf(exps []Result, k int) []BenchSlowest {
 	if len(exps) == 0 {
 		return nil
 	}
-	ranked := append([]BenchExperiment(nil), exps...)
+	ranked := append([]Result(nil), exps...)
 	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].WallNs != ranked[j].WallNs {
-			return ranked[i].WallNs > ranked[j].WallNs
+		if ranked[i].Wall != ranked[j].Wall {
+			return ranked[i].Wall > ranked[j].Wall
 		}
 		return ranked[i].ID < ranked[j].ID
 	})
 	var sum int64
 	for _, e := range exps {
-		sum += e.WallNs
+		sum += e.Wall.Nanoseconds()
 	}
 	if k > len(ranked) {
 		k = len(ranked)
 	}
 	out := make([]BenchSlowest, 0, k)
 	for _, e := range ranked[:k] {
-		s := BenchSlowest{ID: e.ID, WallNs: e.WallNs}
+		s := BenchSlowest{ID: e.ID, WallNs: e.Wall.Nanoseconds()}
 		if sum > 0 {
-			s.Share = float64(e.WallNs) / float64(sum)
+			s.Share = float64(e.Wall.Nanoseconds()) / float64(sum)
 		}
 		out = append(out, s)
 	}

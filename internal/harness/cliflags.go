@@ -1,0 +1,157 @@
+// Shared CLI flag wiring. Every command that runs experiments — maiad,
+// maiabench, npbrun — parses the same surface through JobFlags, and the
+// parsed flags turn into environments only by way of JobSpec, so a CLI
+// invocation and a maiad HTTP job can never drift apart in meaning. New
+// run options land here (and in JobSpec) once and appear everywhere.
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"maia/internal/simfault"
+	"maia/internal/simtrace"
+)
+
+// JobFlags holds the shared experiment-surface flags. Register the
+// groups a command supports, then build the environment with Env — the
+// values route through a JobSpec, so CLI validation and wire validation
+// are the same code.
+type JobFlags struct {
+	// Quick trims sweep densities (-quick).
+	Quick bool
+	// Faults names a simfault catalog plan (-faults).
+	Faults string
+	// Seed re-seeds the fault plan (-seed, 0 = the catalog seed).
+	Seed uint64
+	// Nodes caps the ext-rack node sweeps (-nodes).
+	Nodes int
+	// Trace is the Chrome trace_event output path (-trace).
+	Trace string
+	// TraceSummary requests the per-category text rollup (-trace-summary).
+	TraceSummary bool
+
+	prog string
+}
+
+// AddJobFlags registers the full shared surface on fs and returns the
+// bound flags: -quick, -faults, -seed, -nodes, -trace, -trace-summary.
+func AddJobFlags(fs *flag.FlagSet) *JobFlags {
+	f := &JobFlags{}
+	f.RegisterRun(fs)
+	f.RegisterTrace(fs)
+	return f
+}
+
+// RegisterRun registers the environment-shaping flags (-quick, -faults,
+// -seed, -nodes).
+func (f *JobFlags) RegisterRun(fs *flag.FlagSet) {
+	f.prog = fs.Name()
+	fs.BoolVar(&f.Quick, "quick", false, "trim sweep densities for a fast pass")
+	fs.StringVar(&f.Faults, "faults", "", "run under a named fault plan (see -list for the catalog); incompatible with -verify/-update")
+	fs.Uint64Var(&f.Seed, "seed", 0, "re-seed the -faults plan (0 = the catalog seed); incompatible with -verify/-update")
+	fs.IntVar(&f.Nodes, "nodes", 0, "cap the ext-rack node sweeps at this power-of-two node count (0 = full 128-node system); incompatible with -verify/-update")
+}
+
+// RegisterTrace registers the tracing flags (-trace, -trace-summary).
+func (f *JobFlags) RegisterTrace(fs *flag.FlagSet) {
+	f.prog = fs.Name()
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON of all virtual-time spans to this file (load at ui.perfetto.dev)")
+	fs.BoolVar(&f.TraceSummary, "trace-summary", false, "print the per-category trace time/bytes summary after the run")
+}
+
+// RegisterFaults registers just the fault flags (-faults, -seed) for
+// commands that take a degraded machine but no sweep shaping.
+func (f *JobFlags) RegisterFaults(fs *flag.FlagSet) {
+	f.prog = fs.Name()
+	fs.StringVar(&f.Faults, "faults", "", "run under a named fault plan (see simfault catalog)")
+	fs.Uint64Var(&f.Seed, "seed", 0, "re-seed the -faults plan (0 = the catalog seed)")
+}
+
+// Spec returns the JobSpec the flags describe for one experiment ID.
+func (f *JobFlags) Spec(experiment string) JobSpec {
+	return JobSpec{
+		SchemaVersion: JobSpecSchemaVersion,
+		Experiment:    experiment,
+		Quick:         f.Quick,
+		Nodes:         f.Nodes,
+		FaultPlan:     f.Faults,
+		Seed:          f.Seed,
+	}
+}
+
+// FaultPlan resolves the -faults/-seed pair to a plan (nil when -faults
+// is unset; -seed alone is rejected like everywhere else).
+func (f *JobFlags) FaultPlan() (*simfault.Plan, error) {
+	if f.Faults == "" {
+		if f.Seed != 0 {
+			return nil, fmt.Errorf("%w: -seed %d without -faults", ErrBadSeed, f.Seed)
+		}
+		return nil, nil
+	}
+	plan, err := simfault.ByName(f.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if f.Seed != 0 {
+		reseeded := *plan
+		reseeded.Seed = f.Seed
+		plan = &reseeded
+	}
+	return plan, nil
+}
+
+// NewTracer returns a fresh tracer when a tracing flag asked for one,
+// nil otherwise (tracing off at zero cost).
+func (f *JobFlags) NewTracer() *simtrace.Tracer {
+	if f.Trace == "" && !f.TraceSummary {
+		return nil
+	}
+	return simtrace.New()
+}
+
+// Env validates the flag values through a JobSpec and builds the
+// environment plus the requested tracer (nil when tracing is off);
+// opts apply on top for command-specific additions.
+func (f *JobFlags) Env(opts ...Option) (Env, *simtrace.Tracer, error) {
+	env, err := f.Spec("").Env()
+	if err != nil {
+		return Env{}, nil, err
+	}
+	tracer := f.NewTracer()
+	env.Tracer = tracer
+	for _, opt := range opts {
+		opt(&env)
+	}
+	return env, tracer, nil
+}
+
+// WriteTrace exports what the tracer collected: Chrome JSON to the
+// -trace path (when set) and/or the text summary to w. Exports run even
+// after a failed run — a partial trace is exactly what explains a
+// failure. A nil tracer is a no-op.
+func (f *JobFlags) WriteTrace(tracer *simtrace.Tracer, w io.Writer) error {
+	if tracer == nil {
+		return nil
+	}
+	if f.Trace != "" {
+		out, err := os.Create(f.Trace)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChrome(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %d spans to %s\n", f.prog, tracer.SpanCount(), f.Trace)
+	}
+	if f.TraceSummary {
+		return tracer.Summary().WriteText(w)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"testing"
+)
+
+// The shared flag surface parses into a JobSpec-backed Env: one wiring
+// for maiad, maiabench, and npbrun.
+func TestJobFlagsEnv(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	jf := AddJobFlags(fs)
+	if err := fs.Parse([]string{"-quick", "-faults", "degraded", "-seed", "9", "-nodes", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	env, tracer, err := jf.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer != nil {
+		t.Errorf("tracer requested without tracing flags")
+	}
+	if !env.Quick || env.RackNodes != 8 {
+		t.Errorf("quick/nodes not applied: %+v", env)
+	}
+	if env.Faults == nil || env.Faults.Name != "degraded" || env.Faults.Seed != 9 {
+		t.Errorf("fault plan not built: %v", env.Faults)
+	}
+	spec := jf.Spec("fig5")
+	if spec.Experiment != "fig5" || spec.FaultPlan != "degraded" || spec.Seed != 9 ||
+		!spec.Quick || spec.Nodes != 8 {
+		t.Errorf("Spec() = %+v", spec)
+	}
+	if err := spec.Validate(Paper()); err != nil {
+		t.Errorf("flag-built spec invalid: %v", err)
+	}
+}
+
+// Flag validation is JobSpec validation: bad values classify with the
+// same typed errors the wire API returns.
+func TestJobFlagsRejections(t *testing.T) {
+	parse := func(args ...string) error {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		jf := AddJobFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		_, _, err := jf.Env()
+		return err
+	}
+	if err := parse("-nodes", "3"); !errors.Is(err, ErrBadNodes) {
+		t.Errorf("-nodes 3: %v", err)
+	}
+	if err := parse("-faults", "nope"); !errors.Is(err, ErrUnknownFaultPlan) {
+		t.Errorf("-faults nope: %v", err)
+	}
+	if err := parse("-seed", "4"); !errors.Is(err, ErrBadSeed) {
+		t.Errorf("-seed without -faults: %v", err)
+	}
+	if err := parse("-quick"); err != nil {
+		t.Errorf("plain -quick rejected: %v", err)
+	}
+}
+
+// A tracer is built exactly when a tracing flag asks for one.
+func TestJobFlagsTracer(t *testing.T) {
+	jf := &JobFlags{TraceSummary: true}
+	if jf.NewTracer() == nil {
+		t.Errorf("-trace-summary did not build a tracer")
+	}
+	if (&JobFlags{}).NewTracer() != nil {
+		t.Errorf("tracer built with tracing off")
+	}
+}

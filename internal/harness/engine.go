@@ -11,26 +11,52 @@ import (
 	"maia/internal/simtrace"
 )
 
-// Result is the metadata of one experiment executed by the engine.
+// ResultSchemaVersion is the Result wire-format version: bumped on any
+// change to the JSON field set or meanings, so cached results and HTTP
+// responses can't silently drift between builds.
+const ResultSchemaVersion = 1
+
+// Result is the metadata of one experiment executed by the engine. It
+// doubles as a versioned wire type: the JSON field tags are part of the
+// maiad response format and the -benchjson file format, pinned by a
+// golden encode/decode test. Encode via Wire so SchemaVersion and the
+// flattened Error are populated.
 type Result struct {
+	// SchemaVersion is the wire-format version (ResultSchemaVersion);
+	// zero on freshly-computed results until Wire stamps it.
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// ID and Title identify the experiment.
-	ID    string
-	Title string
+	ID    string `json:"id"`
+	Title string `json:"title,omitempty"`
 	// Index is the experiment's position in presentation order.
-	Index int
+	Index int `json:"index"`
 	// Wall is the host wall-clock time the experiment took (the virtual
-	// times it simulates are unaffected by scheduling).
-	Wall time.Duration
+	// times it simulates are unaffected by scheduling); it encodes as
+	// integer nanoseconds.
+	Wall time.Duration `json:"wall_ns"`
 	// Bytes is the size of the experiment's rendered output.
-	Bytes int
+	Bytes int `json:"output_bytes"`
 	// Mallocs and AllocBytes are the heap activity (object count and
 	// cumulative bytes) observed while the experiment ran. They are
 	// process-wide runtime.MemStats deltas: exact with one worker,
 	// approximate (overlapping) with several.
-	Mallocs    uint64
-	AllocBytes uint64
-	// Err is the experiment's failure, if any.
-	Err error
+	Mallocs    uint64 `json:"mallocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Error is the wire form of Err, filled in by Wire.
+	Error string `json:"error,omitempty"`
+	// Err is the experiment's failure, if any. It never crosses the
+	// wire directly — Wire flattens it to Error.
+	Err error `json:"-"`
+}
+
+// Wire returns the result ready for encoding: SchemaVersion stamped
+// with the current version and Err flattened into Error.
+func (r Result) Wire() Result {
+	r.SchemaVersion = ResultSchemaVersion
+	if r.Err != nil {
+		r.Error = r.Err.Error()
+	}
+	return r
 }
 
 // Render writes e's framed output — header, paper line, body, trailing

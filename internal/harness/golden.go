@@ -23,8 +23,8 @@ var goldenFS embed.FS
 // committed golden snapshots; `maiabench -update` writes here.
 const DefaultGoldenDir = "internal/harness/testdata/golden"
 
-// goldenName returns the snapshot file name for an experiment ID.
-func goldenName(id string) string { return id + ".txt" }
+// GoldenName returns the snapshot file name for an experiment ID.
+func GoldenName(id string) string { return id + ".txt" }
 
 // EmbeddedGolden returns the golden snapshots embedded at build time,
 // rooted at the per-experiment files.
@@ -47,7 +47,7 @@ func UpdateGolden(dir string, env Env, exps []Experiment) error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(filepath.Join(dir, goldenName(e.ID)), out, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, GoldenName(e.ID)), out, 0o644); err != nil {
 			return err
 		}
 	}
@@ -61,7 +61,7 @@ func UpdateGolden(dir string, env Env, exps []Experiment) error {
 func VerifyGolden(env Env, exps []Experiment, golden fs.FS) error {
 	var bad []string
 	for _, e := range exps {
-		want, err := fs.ReadFile(golden, goldenName(e.ID))
+		want, err := fs.ReadFile(golden, GoldenName(e.ID))
 		if err != nil {
 			bad = append(bad, e.ID+" (no snapshot)")
 			continue

@@ -33,11 +33,11 @@ func TestGoldenSnapshots(t *testing.T) {
 func TestGoldenEmbeddedInSync(t *testing.T) {
 	embedded := EmbeddedGolden()
 	for _, e := range Paper().All() {
-		disk, err := os.ReadFile("testdata/golden/" + goldenName(e.ID))
+		disk, err := os.ReadFile("testdata/golden/" + GoldenName(e.ID))
 		if err != nil {
 			t.Fatalf("%s: %v (regenerate with -update)", e.ID, err)
 		}
-		emb, err := fs.ReadFile(embedded, goldenName(e.ID))
+		emb, err := fs.ReadFile(embedded, GoldenName(e.ID))
 		if err != nil {
 			t.Fatalf("%s: not embedded: %v", e.ID, err)
 		}

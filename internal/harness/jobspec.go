@@ -1,0 +1,354 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"maia/internal/core"
+	"maia/internal/simfault"
+)
+
+// JobSpec is the single typed description of "run experiment X under
+// environment Y": the wire currency of the maiad control plane and the
+// common ground the CLIs build their Envs from. A spec is pure data —
+// every field is a value with a canonical JSON encoding — so two
+// semantically identical jobs hash to the same content address and a
+// cache entry computed for one client answers every other.
+//
+// The zero value of every optional field means "the default, healthy,
+// full-density environment"; the canonical encoding omits such fields,
+// so adding a new option never changes the hash of old jobs.
+type JobSpec struct {
+	// SchemaVersion is the wire-format version (JobSpecSchemaVersion).
+	// Zero is accepted on input and normalized to the current version.
+	SchemaVersion int `json:"schema_version"`
+	// Experiment is the registry ID to run ("table1", "fig4", ...).
+	Experiment string `json:"experiment"`
+	// Quick trims sweep densities exactly like maiabench -quick.
+	Quick bool `json:"quick,omitempty"`
+	// Nodes caps the ext-rack node sweeps (0 = full 128-node rack);
+	// must be a power of two in 2..128 when nonzero.
+	Nodes int `json:"nodes,omitempty"`
+	// FaultPlan names a simfault catalog plan ("" = healthy machine).
+	FaultPlan string `json:"fault_plan,omitempty"`
+	// Seed, when nonzero, replaces the fault plan's catalog seed so one
+	// named failure mode can be re-rolled into many distinct machines.
+	// Without a fault plan it is rejected by Validate: a seed that
+	// changes nothing must not mint a distinct cache key.
+	Seed uint64 `json:"seed,omitempty"`
+	// Model overrides individual cost-model knobs by name (see
+	// ModelKeys). Boolean knobs encode as 0 or 1.
+	Model map[string]float64 `json:"model,omitempty"`
+}
+
+// JobSpecSchemaVersion is the current JobSpec wire-format version.
+const JobSpecSchemaVersion = 1
+
+// The model-override keys a JobSpec may set, each addressing one scalar
+// knob of core.Model. Together they span the whole Model, so any Model
+// value round-trips through a JobSpec.
+const (
+	// ModelCacheCapture toggles the cache-reuse model (bool: 0 or 1).
+	ModelCacheCapture = "cache_capture"
+	// ModelThreadLatencyHiding toggles the in-order issue model (bool).
+	ModelThreadLatencyHiding = "thread_latency_hiding"
+	// ModelOSCorePenalty sets the OS-core time multiplier (> 0).
+	ModelOSCorePenalty = "os_core_penalty"
+	// ModelStreamBankLimit toggles the GDDR5 open-bank model (bool).
+	ModelStreamBankLimit = "stream_bank_limit"
+	// ModelStreamBankPenalty sets the past-limit bandwidth multiplier
+	// (> 0).
+	ModelStreamBankPenalty = "stream_bank_penalty"
+)
+
+// ModelKeys lists the valid model-override keys, sorted.
+func ModelKeys() []string {
+	return []string{
+		ModelCacheCapture,
+		ModelOSCorePenalty,
+		ModelStreamBankLimit,
+		ModelStreamBankPenalty,
+		ModelThreadLatencyHiding,
+	}
+}
+
+// The typed validation failures Validate wraps; errors.Is against these
+// classifies a rejection without string matching.
+var (
+	// ErrUnknownExperiment marks an experiment ID absent from the registry.
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	// ErrBadNodes marks a node count that is not a power of two in 2..128.
+	ErrBadNodes = errors.New("invalid node count")
+	// ErrUnknownFaultPlan marks a fault-plan name absent from the catalog.
+	ErrUnknownFaultPlan = errors.New("unknown fault plan")
+	// ErrBadModelOverride marks an unknown key or out-of-domain value.
+	ErrBadModelOverride = errors.New("invalid model override")
+	// ErrBadSchemaVersion marks a spec from an unsupported wire version.
+	ErrBadSchemaVersion = errors.New("unsupported schema version")
+	// ErrBadSeed marks a seed on a spec with no fault plan to drive.
+	ErrBadSeed = errors.New("seed without fault plan")
+)
+
+// Validate checks the spec against the registry and the catalogs and
+// returns the first violation, wrapped around one of the typed errors
+// above. A nil error means Env() will succeed and the experiment exists.
+func (s JobSpec) Validate(reg *Registry) error {
+	if s.SchemaVersion != 0 && s.SchemaVersion != JobSpecSchemaVersion {
+		return fmt.Errorf("%w: %d (this build speaks %d)",
+			ErrBadSchemaVersion, s.SchemaVersion, JobSpecSchemaVersion)
+	}
+	if s.Experiment == "" {
+		return fmt.Errorf("%w: empty experiment ID", ErrUnknownExperiment)
+	}
+	if reg != nil {
+		if _, ok := reg.ByID(s.Experiment); !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownExperiment, s.Experiment)
+		}
+	}
+	if s.Nodes != 0 && (s.Nodes < 2 || s.Nodes > 128 || s.Nodes&(s.Nodes-1) != 0) {
+		return fmt.Errorf("%w: %d (want a power of two in 2..128, or 0)", ErrBadNodes, s.Nodes)
+	}
+	if s.FaultPlan != "" {
+		if _, err := simfault.ByName(s.FaultPlan); err != nil {
+			return fmt.Errorf("%w: %q (have %s)",
+				ErrUnknownFaultPlan, s.FaultPlan, strings.Join(simfault.Names(), ", "))
+		}
+	} else if s.Seed != 0 {
+		return fmt.Errorf("%w: seed %d would re-roll nothing", ErrBadSeed, s.Seed)
+	}
+	for key, v := range s.Model {
+		if err := checkModelOverride(key, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkModelOverride validates one model-override assignment.
+func checkModelOverride(key string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: %s = %v is not finite", ErrBadModelOverride, key, v)
+	}
+	switch key {
+	case ModelCacheCapture, ModelThreadLatencyHiding, ModelStreamBankLimit:
+		if v != 0 && v != 1 {
+			return fmt.Errorf("%w: %s = %v (boolean knobs take 0 or 1)", ErrBadModelOverride, key, v)
+		}
+	case ModelOSCorePenalty, ModelStreamBankPenalty:
+		if v <= 0 {
+			return fmt.Errorf("%w: %s = %v (want > 0)", ErrBadModelOverride, key, v)
+		}
+	default:
+		return fmt.Errorf("%w: unknown key %q (have %s)",
+			ErrBadModelOverride, key, strings.Join(ModelKeys(), ", "))
+	}
+	return nil
+}
+
+// Normalize returns the spec in canonical semantic form: the schema
+// version filled in, a seed equal to the fault plan's catalog default
+// cleared, and model overrides equal to the default model dropped.
+// Normalizing never changes what Env() builds; it only collapses
+// distinct spellings of the same job onto one content address.
+func (s JobSpec) Normalize() JobSpec {
+	n := s
+	n.SchemaVersion = JobSpecSchemaVersion
+	if n.FaultPlan == "" {
+		n.Seed = 0
+	} else if plan, err := simfault.ByName(n.FaultPlan); err == nil && n.Seed == plan.Seed {
+		n.Seed = 0
+	}
+	if len(n.Model) > 0 {
+		def := modelToOverrides(core.DefaultModel())
+		var trimmed map[string]float64
+		for key, v := range n.Model {
+			if dv, ok := def[key]; ok && dv == v {
+				continue
+			}
+			if trimmed == nil {
+				trimmed = make(map[string]float64)
+			}
+			trimmed[key] = v
+		}
+		n.Model = trimmed
+	}
+	return n
+}
+
+// MarshalCanonical encodes the normalized spec as canonical JSON: keys
+// in sorted order, zero-valued optional fields omitted, floats in Go's
+// shortest round-trip form. Equal canonical bytes iff the specs build
+// the same environment, so these bytes are what Hash digests.
+func (s JobSpec) MarshalCanonical() []byte {
+	n := s.Normalize()
+	var b strings.Builder
+	b.WriteByte('{')
+	// Fields appear in sorted key order: experiment, fault_plan, model,
+	// nodes, quick, schema_version, seed.
+	fmt.Fprintf(&b, "%q:%q", "experiment", n.Experiment)
+	if n.FaultPlan != "" {
+		fmt.Fprintf(&b, ",%q:%q", "fault_plan", n.FaultPlan)
+	}
+	if len(n.Model) > 0 {
+		b.WriteString(`,"model":{`)
+		keys := make([]string, 0, len(n.Model))
+		for key := range n.Model {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for i, key := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q:%s", key, canonicalFloat(n.Model[key]))
+		}
+		b.WriteByte('}')
+	}
+	if n.Nodes != 0 {
+		fmt.Fprintf(&b, ",%q:%d", "nodes", n.Nodes)
+	}
+	if n.Quick {
+		fmt.Fprintf(&b, ",%q:true", "quick")
+	}
+	fmt.Fprintf(&b, ",%q:%d", "schema_version", n.SchemaVersion)
+	if n.Seed != 0 {
+		fmt.Fprintf(&b, ",%q:%d", "seed", n.Seed)
+	}
+	b.WriteByte('}')
+	return []byte(b.String())
+}
+
+// canonicalFloat formats a float for the canonical encoding: integral
+// values print without exponent or decimal point, everything else in
+// Go's shortest form that round-trips to the same float64.
+func canonicalFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Hash returns the spec's content address: the hex SHA-256 of its
+// canonical encoding. Two specs hash equal iff they describe the same
+// job, regardless of field spelling, seed redundancy, or JSON layout.
+func (s JobSpec) Hash() string {
+	sum := sha256.Sum256(s.MarshalCanonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// Env builds the harness environment the spec describes. It resolves
+// the fault plan (re-seeded when Seed is set) and applies the model
+// overrides to the calibrated default; errors mirror Validate's typed
+// classification. The experiment ID plays no part here — resolve it
+// against a Registry separately.
+func (s JobSpec) Env() (Env, error) {
+	if s.Nodes != 0 && (s.Nodes < 2 || s.Nodes > 128 || s.Nodes&(s.Nodes-1) != 0) {
+		return Env{}, fmt.Errorf("%w: %d (want a power of two in 2..128, or 0)", ErrBadNodes, s.Nodes)
+	}
+	opts := []Option{WithQuick(s.Quick), WithRackNodes(s.Nodes)}
+	if s.FaultPlan != "" {
+		plan, err := simfault.ByName(s.FaultPlan)
+		if err != nil {
+			return Env{}, fmt.Errorf("%w: %q", ErrUnknownFaultPlan, s.FaultPlan)
+		}
+		if s.Seed != 0 {
+			reseeded := *plan
+			reseeded.Seed = s.Seed
+			plan = &reseeded
+		}
+		opts = append(opts, WithFaults(plan))
+	} else if s.Seed != 0 {
+		return Env{}, fmt.Errorf("%w: seed %d would re-roll nothing", ErrBadSeed, s.Seed)
+	}
+	model := core.DefaultModel()
+	for key, v := range s.Model {
+		if err := checkModelOverride(key, v); err != nil {
+			return Env{}, err
+		}
+		applyModelOverride(&model, key, v)
+	}
+	opts = append(opts, WithModel(model))
+	return DefaultEnv(opts...), nil
+}
+
+// applyModelOverride sets one validated knob on the model.
+func applyModelOverride(m *core.Model, key string, v float64) {
+	switch key {
+	case ModelCacheCapture:
+		m.CacheCapture = v != 0
+	case ModelThreadLatencyHiding:
+		m.ThreadLatencyHiding = v != 0
+	case ModelOSCorePenalty:
+		m.OSCorePenalty = v
+	case ModelStreamBankLimit:
+		m.Stream.BankLimit = v != 0
+	case ModelStreamBankPenalty:
+		m.Stream.BankPenalty = v
+	}
+}
+
+// modelToOverrides expresses a Model as the full override map.
+func modelToOverrides(m core.Model) map[string]float64 {
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return map[string]float64{
+		ModelCacheCapture:        b2f(m.CacheCapture),
+		ModelThreadLatencyHiding: b2f(m.ThreadLatencyHiding),
+		ModelOSCorePenalty:       m.OSCorePenalty,
+		ModelStreamBankLimit:     b2f(m.Stream.BankLimit),
+		ModelStreamBankPenalty:   m.Stream.BankPenalty,
+	}
+}
+
+// EnvToSpec inverts Env: it derives the JobSpec that rebuilds env for
+// the given experiment ID, normalized. It errors when the environment
+// is not representable on the wire — a fault plan outside the named
+// catalog, or a tracer (per-request state, never part of a job's
+// identity) would silently change what a cache key means.
+func EnvToSpec(experiment string, env Env) (JobSpec, error) {
+	spec := JobSpec{
+		SchemaVersion: JobSpecSchemaVersion,
+		Experiment:    experiment,
+		Quick:         env.Quick,
+		Nodes:         env.RackNodes,
+	}
+	if env.Faults.Enabled() {
+		plan, err := simfault.ByName(env.Faults.Name)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("%w: plan %q is not in the catalog",
+				ErrUnknownFaultPlan, env.Faults.Name)
+		}
+		spec.FaultPlan = plan.Name
+		if env.Faults.Seed != plan.Seed {
+			spec.Seed = env.Faults.Seed
+		}
+		reseeded := *plan
+		reseeded.Seed = env.Faults.Seed
+		if !reflect.DeepEqual(*env.Faults, reseeded) {
+			return JobSpec{}, fmt.Errorf("%w: plan %q was modified beyond its seed",
+				ErrUnknownFaultPlan, env.Faults.Name)
+		}
+	}
+	def := modelToOverrides(core.DefaultModel())
+	for key, v := range modelToOverrides(env.Model) {
+		if v == def[key] {
+			continue
+		}
+		if spec.Model == nil {
+			spec.Model = make(map[string]float64)
+		}
+		spec.Model[key] = v
+	}
+	return spec.Normalize(), nil
+}

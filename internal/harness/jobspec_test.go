@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"maia/internal/core"
+	"maia/internal/simfault"
+)
+
+// The canonical encoding is pinned byte-for-byte: any drift here would
+// silently re-key every cached result in a maiad deployment.
+func TestJobSpecCanonicalBytes(t *testing.T) {
+	cases := []struct {
+		spec JobSpec
+		want string
+	}{
+		{
+			JobSpec{Experiment: "fig5"},
+			`{"experiment":"fig5","schema_version":1}`,
+		},
+		{
+			JobSpec{Experiment: "fig5", Quick: true},
+			`{"experiment":"fig5","quick":true,"schema_version":1}`,
+		},
+		{
+			JobSpec{Experiment: "ext-rack-npb", Nodes: 4, FaultPlan: "degraded", Seed: 99,
+				Model: map[string]float64{ModelOSCorePenalty: 1.5, ModelCacheCapture: 0}},
+			`{"experiment":"ext-rack-npb","fault_plan":"degraded",` +
+				`"model":{"cache_capture":0,"os_core_penalty":1.5},` +
+				`"nodes":4,"schema_version":1,"seed":99}`,
+		},
+		{
+			// Redundant spellings normalize away: the catalog seed and
+			// default-valued model overrides do not change the job.
+			JobSpec{Experiment: "fig5", FaultPlan: "degraded", Seed: 5,
+				Model: map[string]float64{ModelCacheCapture: 1}},
+			`{"experiment":"fig5","fault_plan":"degraded","schema_version":1}`,
+		},
+	}
+	for _, c := range cases {
+		got := c.spec.MarshalCanonical()
+		if string(got) != c.want {
+			t.Errorf("MarshalCanonical(%+v)\n got %s\nwant %s", c.spec, got, c.want)
+		}
+		// Canonical bytes are valid JSON that decodes back to a spec
+		// with the same canonical bytes (a fixpoint).
+		var back JobSpec
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatalf("canonical bytes are not JSON: %v", err)
+		}
+		if again := back.MarshalCanonical(); !bytes.Equal(again, got) {
+			t.Errorf("canonical encoding is not a fixpoint: %s vs %s", again, got)
+		}
+	}
+}
+
+// Hashing is stable across spellings of the same job and distinct for
+// different jobs.
+func TestJobSpecHash(t *testing.T) {
+	a := JobSpec{Experiment: "fig5", FaultPlan: "degraded"}
+	b := JobSpec{Experiment: "fig5", FaultPlan: "degraded", Seed: 5, SchemaVersion: 1}
+	if a.Hash() != b.Hash() {
+		t.Errorf("equivalent specs hash differently: %s vs %s", a.Hash(), b.Hash())
+	}
+	c := JobSpec{Experiment: "fig5", FaultPlan: "degraded", Seed: 6}
+	if a.Hash() == c.Hash() {
+		t.Errorf("re-seeded plan collides with the catalog seed")
+	}
+	d := JobSpec{Experiment: "fig6"}
+	if a.Hash() == d.Hash() {
+		t.Errorf("different experiments collide")
+	}
+	if len(a.Hash()) != 64 {
+		t.Errorf("hash is not hex SHA-256: %q", a.Hash())
+	}
+}
+
+// Validate classifies every rejection with a typed error.
+func TestJobSpecValidate(t *testing.T) {
+	reg := Paper()
+	cases := []struct {
+		name string
+		spec JobSpec
+		want error
+	}{
+		{"ok", JobSpec{Experiment: "fig5"}, nil},
+		{"ok full", JobSpec{SchemaVersion: 1, Experiment: "ext-rack-npb", Quick: true,
+			Nodes: 16, FaultPlan: "lossy-pcie", Seed: 7,
+			Model: map[string]float64{ModelStreamBankLimit: 0}}, nil},
+		{"unknown experiment", JobSpec{Experiment: "fig99"}, ErrUnknownExperiment},
+		{"empty experiment", JobSpec{}, ErrUnknownExperiment},
+		{"bad schema", JobSpec{SchemaVersion: 2, Experiment: "fig5"}, ErrBadSchemaVersion},
+		{"non-pow2 nodes", JobSpec{Experiment: "fig5", Nodes: 3}, ErrBadNodes},
+		{"nodes too large", JobSpec{Experiment: "fig5", Nodes: 256}, ErrBadNodes},
+		{"one node", JobSpec{Experiment: "fig5", Nodes: 1}, ErrBadNodes},
+		{"unknown plan", JobSpec{Experiment: "fig5", FaultPlan: "nope"}, ErrUnknownFaultPlan},
+		{"seed without plan", JobSpec{Experiment: "fig5", Seed: 3}, ErrBadSeed},
+		{"unknown model key", JobSpec{Experiment: "fig5",
+			Model: map[string]float64{"warp_factor": 9}}, ErrBadModelOverride},
+		{"non-boolean bool knob", JobSpec{Experiment: "fig5",
+			Model: map[string]float64{ModelCacheCapture: 0.5}}, ErrBadModelOverride},
+		{"non-positive penalty", JobSpec{Experiment: "fig5",
+			Model: map[string]float64{ModelOSCorePenalty: 0}}, ErrBadModelOverride},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate(reg)
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want errors.Is(%v)", c.name, err, c.want)
+		}
+	}
+}
+
+// Env applies the spec: quick, nodes, re-seeded fault plan, and model
+// overrides all land on the built environment.
+func TestJobSpecEnv(t *testing.T) {
+	spec := JobSpec{Experiment: "fig5", Quick: true, Nodes: 8,
+		FaultPlan: "degraded", Seed: 42,
+		Model: map[string]float64{ModelOSCorePenalty: 2.0, ModelCacheCapture: 0}}
+	env, err := spec.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.Quick || env.RackNodes != 8 {
+		t.Errorf("quick/nodes not applied: %+v", env)
+	}
+	if env.Faults == nil || env.Faults.Name != "degraded" || env.Faults.Seed != 42 {
+		t.Errorf("fault plan not re-seeded: %v", env.Faults)
+	}
+	if catalog, _ := simfault.ByName("degraded"); catalog.Seed == 42 {
+		t.Fatalf("test needs a seed that differs from the catalog")
+	}
+	if env.Model.OSCorePenalty != 2.0 || env.Model.CacheCapture {
+		t.Errorf("model overrides not applied: %+v", env.Model)
+	}
+	if env.Model != func() core.Model {
+		m := core.DefaultModel()
+		m.OSCorePenalty = 2.0
+		m.CacheCapture = false
+		return m
+	}() {
+		t.Errorf("unrelated model knobs drifted: %+v", env.Model)
+	}
+	if _, err := (JobSpec{Experiment: "fig5", Seed: 1}).Env(); !errors.Is(err, ErrBadSeed) {
+		t.Errorf("Env accepted a seed without a plan: %v", err)
+	}
+}
+
+// EnvToSpec refuses environments that a JobSpec cannot faithfully
+// describe: ad-hoc fault plans would alias a catalog cache key.
+func TestEnvToSpecRejectsUnrepresentable(t *testing.T) {
+	plan, err := simfault.ByName("phi-straggler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := *plan
+	custom.Stragglers = append([]simfault.Straggler(nil), plan.Stragglers...)
+	custom.Stragglers[0].Slowdown = 99
+	if _, err := EnvToSpec("fig5", DefaultEnv(WithFaults(&custom))); !errors.Is(err, ErrUnknownFaultPlan) {
+		t.Errorf("modified plan accepted: %v", err)
+	}
+	anon := &simfault.Plan{Stragglers: plan.Stragglers}
+	if _, err := EnvToSpec("fig5", DefaultEnv(WithFaults(anon))); !errors.Is(err, ErrUnknownFaultPlan) {
+		t.Errorf("anonymous plan accepted: %v", err)
+	}
+}
+
+// randomSpec draws a valid spec over the cheap experiments, the fault
+// catalog, and the model-override domain.
+func randomSpec(rng *rand.Rand) JobSpec {
+	exps := []string{"fig7", "fig13", "fig15", "fig17", "table1"}
+	spec := JobSpec{Experiment: exps[rng.Intn(len(exps))], Quick: true}
+	if rng.Intn(2) == 0 {
+		names := simfault.Names()
+		spec.FaultPlan = names[rng.Intn(len(names))]
+		if rng.Intn(2) == 0 {
+			spec.Seed = uint64(rng.Intn(5)) // 0 = keep the catalog seed
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		spec.Model = map[string]float64{ModelOSCorePenalty: 1 + rng.Float64()}
+	case 1:
+		spec.Model = map[string]float64{ModelCacheCapture: float64(rng.Intn(2))}
+	case 2:
+		spec.Model = map[string]float64{
+			ModelThreadLatencyHiding: float64(rng.Intn(2)),
+			ModelStreamBankPenalty:   0.5 + rng.Float64(),
+		}
+	}
+	if rng.Intn(4) == 0 {
+		spec.Nodes = 2 << rng.Intn(6)
+	}
+	return spec
+}
+
+// The round-trip property: spec -> Env -> EnvToSpec -> Env preserves
+// the experiment's rendered output byte-for-byte, and the recovered
+// spec lands on the same content address.
+func TestJobSpecEnvRoundTripProperty(t *testing.T) {
+	reg := Paper()
+	rng := rand.New(rand.NewSource(7))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for i := 0; i < trials; i++ {
+		spec := randomSpec(rng)
+		if err := spec.Validate(reg); err != nil {
+			t.Fatalf("trial %d: generated invalid spec %+v: %v", i, spec, err)
+		}
+		env, err := spec.Env()
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		back, err := EnvToSpec(spec.Experiment, env)
+		if err != nil {
+			t.Fatalf("trial %d: EnvToSpec: %v", i, err)
+		}
+		if got, want := back.Hash(), spec.Hash(); got != want {
+			t.Fatalf("trial %d: round-tripped spec re-keys: %+v -> %+v", i, spec, back)
+		}
+		env2, err := back.Env()
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		exp, ok := reg.ByID(spec.Experiment)
+		if !ok {
+			t.Fatalf("trial %d: experiment vanished", i)
+		}
+		out1, err := RenderBytes(exp, env)
+		if err != nil {
+			t.Fatalf("trial %d: render: %v", i, err)
+		}
+		out2, err := RenderBytes(exp, env2)
+		if err != nil {
+			t.Fatalf("trial %d: render round-trip: %v", i, err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Errorf("trial %d: round-tripped env changes output for %+v", i, spec)
+		}
+	}
+}

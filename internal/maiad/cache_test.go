@@ -1,0 +1,65 @@
+package maiad
+
+import (
+	"io/fs"
+	"testing"
+
+	"maia/internal/harness"
+)
+
+// Put/Get round-trips, and the first write wins on a duplicate key.
+func TestCacheFirstWriteWins(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache answered a get")
+	}
+	c.Put("k", Entry{Output: []byte("first")})
+	c.Put("k", Entry{Output: []byte("second")})
+	e, ok := c.Get("k")
+	if !ok || string(e.Output) != "first" {
+		t.Fatalf("got %q ok=%v, want first write to win", e.Output, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+// Seeding from the embedded goldens loads every registry experiment
+// under its default-job content address, byte-identical to the files.
+func TestSeedFromGolden(t *testing.T) {
+	reg := harness.Paper()
+	c := NewCache()
+	n, err := c.SeedFromGolden(reg, harness.EmbeddedGolden())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != reg.Len() || c.Len() != reg.Len() {
+		t.Fatalf("seeded %d entries (cache %d), registry has %d", n, c.Len(), reg.Len())
+	}
+	for i, exp := range reg.All() {
+		want, err := fs.ReadFile(harness.EmbeddedGolden(), harness.GoldenName(exp.ID))
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		key := harness.JobSpec{Experiment: exp.ID}.Hash()
+		e, ok := c.Get(key)
+		if !ok {
+			t.Fatalf("%s: default key %s not seeded", exp.ID, key)
+		}
+		if string(e.Output) != string(want) {
+			t.Errorf("%s: seeded bytes differ from golden", exp.ID)
+		}
+		if !e.Seeded || e.Result.ID != exp.ID || e.Result.Index != i ||
+			e.Result.Bytes != len(want) || e.Result.SchemaVersion != harness.ResultSchemaVersion {
+			t.Errorf("%s: entry metadata %+v", exp.ID, e.Result)
+		}
+	}
+}
+
+// A nil golden FS seeds nothing; missing snapshots are skipped.
+func TestSeedFromGoldenMissing(t *testing.T) {
+	c := NewCache()
+	if n, err := c.SeedFromGolden(harness.Paper(), nil); err != nil || n != 0 {
+		t.Fatalf("nil FS: n=%d err=%v", n, err)
+	}
+}

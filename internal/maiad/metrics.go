@@ -1,0 +1,246 @@
+package maiad
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Latency histogram geometry: power-of-two buckets from 1 us up. The
+// top bucket is open-ended; 34 doublings put its floor past 4 hours,
+// far beyond any single job on this system.
+const (
+	histBuckets = 34
+	histBaseNs  = int64(time.Microsecond)
+)
+
+// bucketFloor returns the lower bound (ns) of bucket i.
+func bucketFloor(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return histBaseNs << (i - 1)
+}
+
+// bucketOf returns the bucket index for a latency in ns.
+func bucketOf(ns int64) int {
+	for i := 1; i < histBuckets; i++ {
+		if ns < histBaseNs<<(i-1) {
+			return i - 1
+		}
+	}
+	return histBuckets - 1
+}
+
+// Histogram is a fixed-geometry latency histogram with cheap concurrent
+// observation and quantile estimates by linear interpolation within the
+// matched bucket. The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Count returns how many latencies were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed latency.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile estimates the p-quantile (0 < p <= 1) by walking the bucket
+// cumulative counts and interpolating linearly inside the bucket that
+// crosses the rank. The top bucket is clamped to the observed max.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := p * float64(n)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := bucketFloor(i)
+			hi := bucketFloor(i + 1)
+			if i == histBuckets-1 || hi > h.max.Load() {
+				hi = h.max.Load()
+				if hi < lo {
+					hi = lo
+				}
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		cum += c
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Metrics is the server's observability state: per-endpoint latency
+// histograms, cache and coalescer counters, and the jobs-in-flight
+// gauge — everything /metrics and /healthz expose.
+type Metrics struct {
+	// CacheHits counts jobs answered from the content-addressed cache.
+	CacheHits atomic.Int64
+	// CacheMisses counts jobs that had to execute the engine.
+	CacheMisses atomic.Int64
+	// Coalesced counts jobs that piggybacked on an identical in-flight
+	// execution instead of running their own.
+	Coalesced atomic.Int64
+	// EngineRuns counts actual experiment executions — the number the
+	// coalescing tests pin: N identical concurrent jobs bump it once.
+	EngineRuns atomic.Int64
+	// JobErrors counts jobs rejected or failed.
+	JobErrors atomic.Int64
+	// InFlight is the jobs-currently-executing gauge.
+	InFlight atomic.Int64
+
+	start time.Time
+	mu    sync.Mutex
+	lat   map[string]*Histogram
+}
+
+// NewMetrics returns a Metrics anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), lat: make(map[string]*Histogram)}
+}
+
+// Endpoint returns (creating on first use) the latency histogram of one
+// endpoint label.
+func (m *Metrics) Endpoint(name string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.lat[name]
+	if !ok {
+		h = &Histogram{}
+		m.lat[name] = h
+	}
+	return h
+}
+
+// Uptime returns the time since the metrics were created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// EndpointStats is the JSON form of one endpoint's latency summary.
+type EndpointStats struct {
+	// Count is the number of requests the endpoint served.
+	Count int64 `json:"count"`
+	// MeanNs through MaxNs summarize the latency distribution in ns.
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// Snapshot is the JSON form of the whole metrics state.
+type Snapshot struct {
+	// UptimeNs is the server's age.
+	UptimeNs int64 `json:"uptime_ns"`
+	// CacheHits through JobErrors mirror the counters.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Coalesced   int64 `json:"coalesced"`
+	EngineRuns  int64 `json:"engine_runs"`
+	JobErrors   int64 `json:"job_errors"`
+	// JobsInFlight is the current gauge value.
+	JobsInFlight int64 `json:"jobs_in_flight"`
+	// CacheEntries is the store size (filled in by the server).
+	CacheEntries int `json:"cache_entries"`
+	// Endpoints maps endpoint label to its latency summary.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// Snapshot captures every counter and histogram summary.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeNs:     m.Uptime().Nanoseconds(),
+		CacheHits:    m.CacheHits.Load(),
+		CacheMisses:  m.CacheMisses.Load(),
+		Coalesced:    m.Coalesced.Load(),
+		EngineRuns:   m.EngineRuns.Load(),
+		JobErrors:    m.JobErrors.Load(),
+		JobsInFlight: m.InFlight.Load(),
+		Endpoints:    make(map[string]EndpointStats),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, h := range m.lat {
+		s.Endpoints[name] = EndpointStats{
+			Count:  h.Count(),
+			MeanNs: h.Mean().Nanoseconds(),
+			P50Ns:  h.Quantile(0.50).Nanoseconds(),
+			P95Ns:  h.Quantile(0.95).Nanoseconds(),
+			P99Ns:  h.Quantile(0.99).Nanoseconds(),
+			MaxNs:  h.Max().Nanoseconds(),
+		}
+	}
+	return s
+}
+
+// WriteProm writes the snapshot in Prometheus text exposition format,
+// endpoints sorted so the output is deterministic for a given state.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE maiad_uptime_seconds gauge\nmaiad_uptime_seconds %.3f\n", float64(s.UptimeNs)/1e9)
+	p("# TYPE maiad_cache_hits_total counter\nmaiad_cache_hits_total %d\n", s.CacheHits)
+	p("# TYPE maiad_cache_misses_total counter\nmaiad_cache_misses_total %d\n", s.CacheMisses)
+	p("# TYPE maiad_coalesced_total counter\nmaiad_coalesced_total %d\n", s.Coalesced)
+	p("# TYPE maiad_engine_runs_total counter\nmaiad_engine_runs_total %d\n", s.EngineRuns)
+	p("# TYPE maiad_job_errors_total counter\nmaiad_job_errors_total %d\n", s.JobErrors)
+	p("# TYPE maiad_jobs_in_flight gauge\nmaiad_jobs_in_flight %d\n", s.JobsInFlight)
+	p("# TYPE maiad_cache_entries gauge\nmaiad_cache_entries %d\n", s.CacheEntries)
+	names := make([]string, 0, len(s.Endpoints))
+	for name := range s.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p("# TYPE maiad_request_seconds summary\n")
+	for _, name := range names {
+		e := s.Endpoints[name]
+		p("maiad_request_seconds{endpoint=%q,quantile=\"0.5\"} %.6f\n", name, float64(e.P50Ns)/1e9)
+		p("maiad_request_seconds{endpoint=%q,quantile=\"0.95\"} %.6f\n", name, float64(e.P95Ns)/1e9)
+		p("maiad_request_seconds{endpoint=%q,quantile=\"0.99\"} %.6f\n", name, float64(e.P99Ns)/1e9)
+		p("maiad_request_seconds_count{endpoint=%q} %d\n", name, e.Count)
+	}
+	return err
+}

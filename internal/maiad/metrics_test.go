@@ -1,0 +1,120 @@
+package maiad
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Quantiles bracket the observed distribution: a uniform spread puts
+// p50 near the middle and p99 near (but never beyond) the max.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	max := h.Max()
+	if p50 < 250*time.Millisecond || p50 > 750*time.Millisecond {
+		t.Errorf("p50 = %v, want near 500ms", p50)
+	}
+	if p99 < p50 || p99 > max {
+		t.Errorf("p99 = %v outside [p50 %v, max %v]", p99, p50, max)
+	}
+	if max != 1000*time.Millisecond {
+		t.Errorf("max = %v", max)
+	}
+	if mean := h.Mean(); mean < 400*time.Millisecond || mean > 600*time.Millisecond {
+		t.Errorf("mean = %v, want ~500ms", mean)
+	}
+}
+
+// Quantiles are monotone in p and safe on an empty histogram.
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram returns nonzero stats")
+	}
+	h.Observe(3 * time.Millisecond)
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		q := h.Quantile(p)
+		if q <= 0 || q > 3*time.Millisecond {
+			t.Errorf("single-sample quantile(%v) = %v", p, q)
+		}
+	}
+	prev := time.Duration(0)
+	var u Histogram
+	for i := 0; i < 100; i++ {
+		u.Observe(time.Duration(1+i*i) * time.Microsecond)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1.0} {
+		q := u.Quantile(p)
+		if q < prev {
+			t.Errorf("quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+// The bucket geometry covers the nanosecond-to-hours range without
+// losing ordering.
+func TestBucketGeometry(t *testing.T) {
+	if bucketOf(0) != 0 {
+		t.Errorf("bucketOf(0) = %d", bucketOf(0))
+	}
+	prev := -1
+	for _, ns := range []int64{1, 999, 1000, 5e3, 1e6, 1e9, 6e10, 1e13} {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Errorf("bucketOf(%d) = %d < previous %d", ns, b, prev)
+		}
+		prev = b
+		if lo := bucketFloor(b); lo > ns {
+			t.Errorf("bucketFloor(%d) = %d > %d", b, lo, ns)
+		}
+	}
+}
+
+// The snapshot and the Prometheus exposition agree with the counters.
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.CacheHits.Add(3)
+	m.CacheMisses.Add(1)
+	m.Coalesced.Add(2)
+	m.EngineRuns.Add(1)
+	m.Endpoint("jobs").Observe(2 * time.Millisecond)
+	m.Endpoint("jobs").Observe(4 * time.Millisecond)
+
+	s := m.Snapshot()
+	if s.CacheHits != 3 || s.CacheMisses != 1 || s.Coalesced != 2 || s.EngineRuns != 1 {
+		t.Errorf("snapshot counters: %+v", s)
+	}
+	ep, ok := s.Endpoints["jobs"]
+	if !ok || ep.Count != 2 || ep.P50Ns <= 0 {
+		t.Errorf("snapshot endpoint: %+v", ep)
+	}
+
+	var b strings.Builder
+	s.CacheEntries = 36
+	if err := s.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"maiad_cache_hits_total 3",
+		"maiad_cache_misses_total 1",
+		"maiad_coalesced_total 2",
+		"maiad_engine_runs_total 1",
+		"maiad_cache_entries 36",
+		`maiad_request_seconds{endpoint="jobs",quantile="0.5"}`,
+		`maiad_request_seconds_count{endpoint="jobs"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}

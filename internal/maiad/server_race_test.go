@@ -1,0 +1,75 @@
+//go:build race
+
+package maiad
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"maia/internal/harness"
+)
+
+// Under the race detector, hammer the server with overlapping jobs and
+// sweeps and check every response against a sequentially-computed
+// reference: parallel serving must equal sequential execution
+// byte-for-byte.
+func TestParallelMatchesSequentialUnderLoad(t *testing.T) {
+	ids := []string{"fig7", "fig13", "fig15", "fig17", "table1"}
+	want := make(map[string]string, len(ids))
+	env, err := harness.JobSpec{Quick: true}.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		exp, ok := harness.Paper().ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		out, err := harness.RenderBytes(exp, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = string(out)
+	}
+
+	s, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				id := ids[(c+round)%len(ids)]
+				var jr JobResponse
+				code := postJob(t, ts.URL+"/v1/jobs", `{"experiment":"`+id+`","quick":true}`, &jr)
+				if code != 200 {
+					t.Errorf("client %d: status %d for %s", c, code, id)
+					return
+				}
+				if jr.Output != want[id] {
+					t.Errorf("client %d: %s output differs from sequential render", c, id)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	body := `{"specs":[{"experiment":"fig7","quick":true},{"experiment":"fig13","quick":true},{"experiment":"fig15","quick":true},{"experiment":"fig17","quick":true},{"experiment":"table1","quick":true}]}`
+	var sr SweepResponse
+	if code := postJob(t, ts.URL+"/v1/sweeps", body, &sr); code != 200 {
+		t.Fatalf("sweep status %d", code)
+	}
+	for i, id := range ids {
+		if sr.Results[i].Output != want[id] {
+			t.Errorf("sweep %s differs from sequential render", id)
+		}
+	}
+}
