@@ -3,14 +3,16 @@
 // deadline, flipping a weighted coin per request: hot jobs replay specs
 // the cache already holds (the golden-seeded defaults plus quick specs
 // the run itself warms), cold jobs mint never-seen-before cache keys by
-// pairing a cheap quick experiment with a fault plan and a fresh seed —
-// so the mix exercises the cache, the coalescer, and the engine at a
+// pairing one of the FULL heavyweight experiments (fig5, fig20,
+// ext-stride) with a fault plan and a fresh seed — so the mix exercises
+// the cache, the coalescer, and the engine's closed-form cold path at a
 // controlled ratio.
 //
-// The report (throughput, client-side latency quantiles, cache-status
-// counts, and the server's own final /metrics snapshot) is written as
-// JSON to -out and summarized on stderr. -min-rps and -min-hit-ratio
-// turn the run into a pass/fail gate for CI.
+// The report (throughput, client-side latency quantiles, the
+// misses-only cold p99, cache-status counts, and the server's own final
+// /metrics snapshot) is written as JSON to -out and summarized on
+// stderr. -min-rps, -min-hit-ratio, and -max-cold-p99 turn the run into
+// a pass/fail gate for CI.
 //
 // Usage:
 //
@@ -41,6 +43,15 @@ import (
 // seed-minting draw from, so the offered load is bounded by HTTP and
 // cache machinery rather than simulation depth.
 var cheapExperiments = []string{"fig7", "fig10", "fig13", "fig15", "fig16", "fig17", "fig22", "table1"}
+
+// heavyColdExperiments are the FULL-mode experiments cold jobs mint
+// never-seen keys for. These were the suite's wall-clock heavyweights
+// until the closed-form engines (memsim's all-miss proof, simmpi's
+// script replay) took over; serving them cold under 100 ms is exactly
+// the claim the -max-cold-p99 gate checks. Fault plans do not enter
+// these experiments' computations, so the re-seeded specs still render
+// through the fast paths — each seed only mints a distinct cache key.
+var heavyColdExperiments = []string{"fig5", "fig20", "ext-stride"}
 
 // coldFaultPlan is the catalog plan cold jobs re-seed; any plan works,
 // it only has to make each distinct seed a distinct content address.
@@ -77,6 +88,9 @@ type Report struct {
 	P95Ns  int64 `json:"p95_ns"`
 	P99Ns  int64 `json:"p99_ns"`
 	MaxNs  int64 `json:"max_ns"`
+	// ColdP99Ns is the p99 over cache MISSES only — the cold path the
+	// heavy experiments exercise, invisible in the hit-dominated P99Ns.
+	ColdP99Ns int64 `json:"cold_p99_ns"`
 	// Hits, Misses, Coalesced count the cache statuses clients saw.
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
@@ -97,6 +111,7 @@ func run(args []string, logw io.Writer) error {
 	label := flags.String("label", "maiad-load", "label for the report")
 	minRPS := flags.Float64("min-rps", 0, "fail unless throughput reaches this many req/s")
 	minHitRatio := flags.Float64("min-hit-ratio", 0, "fail unless the cache hit ratio reaches this")
+	maxColdP99 := flags.Duration("max-cold-p99", 0, "fail if the misses-only (cold path) p99 exceeds this")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +138,7 @@ func run(args []string, logw io.Writer) error {
 
 	var (
 		hist      maiad.Histogram
+		coldHist  maiad.Histogram // misses only
 		requests  atomic.Int64
 		errorsN   atomic.Int64
 		hits      atomic.Int64
@@ -144,15 +160,15 @@ func run(args []string, logw io.Writer) error {
 					body = hotPool[rng.Intn(len(hotPool))]
 				} else {
 					body = (harness.JobSpec{
-						Experiment: cheapExperiments[rng.Intn(len(cheapExperiments))],
-						Quick:      true,
+						Experiment: heavyColdExperiments[rng.Intn(len(heavyColdExperiments))],
 						FaultPlan:  coldFaultPlan,
 						Seed:       coldSeq.Add(1),
 					}).MarshalCanonical()
 				}
 				start := time.Now()
 				status, err := postJob(client, base+"/v1/jobs", body)
-				hist.Observe(time.Since(start))
+				elapsed := time.Since(start)
+				hist.Observe(elapsed)
 				requests.Add(1)
 				switch {
 				case err != nil:
@@ -161,6 +177,7 @@ func run(args []string, logw io.Writer) error {
 					hits.Add(1)
 				case status == maiad.CacheMiss:
 					misses.Add(1)
+					coldHist.Observe(elapsed)
 				case status == maiad.CacheCoalesced:
 					coalesced.Add(1)
 				}
@@ -192,6 +209,7 @@ func run(args []string, logw io.Writer) error {
 		P95Ns:         hist.Quantile(0.95).Nanoseconds(),
 		P99Ns:         hist.Quantile(0.99).Nanoseconds(),
 		MaxNs:         hist.Max().Nanoseconds(),
+		ColdP99Ns:     coldHist.Quantile(0.99).Nanoseconds(),
 		Hits:          hits.Load(),
 		Misses:        misses.Load(),
 		Coalesced:     coalesced.Load(),
@@ -202,9 +220,9 @@ func run(args []string, logw io.Writer) error {
 	}
 
 	fmt.Fprintf(logw,
-		"maiad-load: %d requests in %v (%.1f req/s), p50 %v p95 %v p99 %v, %d hits %d misses %d coalesced %d errors (hit ratio %.3f)\n",
+		"maiad-load: %d requests in %v (%.1f req/s), p50 %v p95 %v p99 %v cold-p99 %v, %d hits %d misses %d coalesced %d errors (hit ratio %.3f)\n",
 		n, elapsed, rep.ThroughputRPS,
-		time.Duration(rep.P50Ns), time.Duration(rep.P95Ns), time.Duration(rep.P99Ns),
+		time.Duration(rep.P50Ns), time.Duration(rep.P95Ns), time.Duration(rep.P99Ns), time.Duration(rep.ColdP99Ns),
 		rep.Hits, rep.Misses, rep.Coalesced, rep.Errors, rep.HitRatio)
 
 	if *out != "" {
@@ -226,6 +244,9 @@ func run(args []string, logw io.Writer) error {
 	}
 	if *minHitRatio > 0 && rep.HitRatio < *minHitRatio {
 		return fmt.Errorf("hit ratio %.3f below the %.3f floor", rep.HitRatio, *minHitRatio)
+	}
+	if *maxColdP99 > 0 && rep.Misses > 0 && time.Duration(rep.ColdP99Ns) > *maxColdP99 {
+		return fmt.Errorf("cold-path p99 %v above the %v ceiling", time.Duration(rep.ColdP99Ns), *maxColdP99)
 	}
 	return nil
 }

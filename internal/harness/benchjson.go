@@ -11,11 +11,15 @@ import (
 
 // BenchSlowest is one entry of a run's slowest-experiments summary:
 // the experiment's wall time and its share of the run's summed
-// experiment wall time.
+// experiment wall time, plus the same breakdown for heap activity —
+// an experiment that dominates mallocs without dominating wall time
+// is the next GC-pressure target.
 type BenchSlowest struct {
-	ID     string  `json:"id"`
-	WallNs int64   `json:"wall_ns"`
-	Share  float64 `json:"share"`
+	ID          string  `json:"id"`
+	WallNs      int64   `json:"wall_ns"`
+	Share       float64 `json:"share"`
+	Mallocs     uint64  `json:"mallocs"`
+	MallocShare float64 `json:"malloc_share"`
 }
 
 // BenchRun is one labeled benchmark pass over a set of experiments —
@@ -76,18 +80,22 @@ func slowestOf(exps []Result, k int) []BenchSlowest {
 		}
 		return ranked[i].ID < ranked[j].ID
 	})
-	var sum int64
+	var sum, mallocSum int64
 	for _, e := range exps {
 		sum += e.Wall.Nanoseconds()
+		mallocSum += int64(e.Mallocs)
 	}
 	if k > len(ranked) {
 		k = len(ranked)
 	}
 	out := make([]BenchSlowest, 0, k)
 	for _, e := range ranked[:k] {
-		s := BenchSlowest{ID: e.ID, WallNs: e.Wall.Nanoseconds()}
+		s := BenchSlowest{ID: e.ID, WallNs: e.Wall.Nanoseconds(), Mallocs: e.Mallocs}
 		if sum > 0 {
 			s.Share = float64(e.Wall.Nanoseconds()) / float64(sum)
+		}
+		if mallocSum > 0 {
+			s.MallocShare = float64(e.Mallocs) / float64(mallocSum)
 		}
 		out = append(out, s)
 	}

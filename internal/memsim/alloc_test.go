@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"runtime"
 	"testing"
 
 	"maia/internal/machine"
@@ -61,6 +62,31 @@ func TestChaseLatencySweepAllocBound(t *testing.T) {
 	})
 	if allocs > 64 {
 		t.Errorf("ChaseLatency allocated %.1f times for an 8-line chase, want <= 64", allocs)
+	}
+}
+
+// TestFig5SweepAllocBound pins the end-to-end Figure 5 sweep: the full
+// 4 KB..64 MB latency curve on both machines. Before the flat cache
+// backing, the pooled permutations, and the all-miss proof, this shape
+// cost ~19.6k mallocs and ~202 MB of allocation; it now sits near 1.1k
+// and 36 MB. The bounds leave ~4x headroom so only a real regression
+// (per-set slices, per-point permutations, unpooled engine state)
+// trips them.
+func TestFig5SweepAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; bound asserted in normal builds")
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	LatencyCurve(machine.SandyBridge(), 4<<10, 64<<20)
+	LatencyCurve(machine.XeonPhi5110P(), 4<<10, 64<<20)
+	runtime.ReadMemStats(&after)
+	if mallocs := after.Mallocs - before.Mallocs; mallocs > 5000 {
+		t.Errorf("fig5-shaped sweep performed %d mallocs, want <= 5000", mallocs)
+	}
+	if bytes := after.TotalAlloc - before.TotalAlloc; bytes > 128<<20 {
+		t.Errorf("fig5-shaped sweep allocated %d bytes, want <= %d", bytes, 128<<20)
 	}
 }
 

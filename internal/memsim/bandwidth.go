@@ -41,7 +41,11 @@ func StreamBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes i
 		passes = 4096/lines + 1
 	}
 	counts := make([]uint64, len(h.levels)+1)
-	if eng := newStridedSim(h, lines, lineBytes); eng != nil {
+	eng := newStridedAllMissSim(h, lines, lineBytes)
+	if eng == nil {
+		eng = newStridedSim(h, lines, lineBytes)
+	}
+	if eng != nil {
 		// Steady-state replay: one warm-up pass, then the measured
 		// passes tallying which level serves each line.
 		eng.run(eng.period, nil, nil)

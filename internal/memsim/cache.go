@@ -54,8 +54,12 @@ func NewCache(name string, sizeBytes, lineBytes, assoc int, latency vclock.Time)
 		latency:   latency,
 		tags:      make([][]uint64, sets),
 	}
+	// All sets share one flat backing array: Fill caps each set at assoc
+	// entries, so the capacity-limited subslices never reallocate, and a
+	// 16K-set L3 costs two allocations instead of 16K.
+	backing := make([]uint64, sets*assoc)
 	for i := range c.tags {
-		c.tags[i] = make([]uint64, 0, assoc)
+		c.tags[i] = backing[i*assoc : i*assoc : (i+1)*assoc]
 	}
 	return c, nil
 }

@@ -1,0 +1,14 @@
+package memsim
+
+import (
+	"testing"
+
+	"maia/internal/machine"
+)
+
+func BenchmarkFig5Shape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		LatencyCurve(machine.SandyBridge(), 4<<10, 64<<20)
+		LatencyCurve(machine.XeonPhi5110P(), 4<<10, 64<<20)
+	}
+}

@@ -24,14 +24,6 @@ func ChaseLatency(h *Hierarchy, workingSetBytes int, seed uint64) LatencyPoint {
 	if lines < 1 {
 		lines = 1
 	}
-	// Random cyclic permutation: next[i] = successor line index.
-	rng := vclock.NewRNG(seed)
-	perm := rng.Perm(lines)
-	next := make([]int, lines)
-	for i := 0; i < lines; i++ {
-		next[perm[i]] = perm[(i+1)%lines]
-	}
-
 	h.Flush()
 	var total vclock.Time
 	// For tiny working sets one traversal is too short to average well;
@@ -40,12 +32,35 @@ func ChaseLatency(h *Hierarchy, workingSetBytes int, seed uint64) LatencyPoint {
 	if n < 4096 {
 		n = 4096
 	}
-	if eng := newChaseSim(h, next); eng != nil {
+	if eng := newChaseUniformSim(h, lines); eng != nil {
+		// Provable serving level: every steady access is served at the
+		// same level whatever the permutation order, so the permutation
+		// is never built and the whole chase prices arithmetically.
+		eng.run(lines, nil, nil)
+		eng.run(n, &total, nil)
+		eng.finish()
+		return LatencyPoint{
+			WorkingSetBytes: workingSetBytes,
+			LatencyNs:       total.Nanoseconds() / float64(n),
+		}
+	}
+	// Random cyclic permutation of the lines, walked starting at line 0.
+	rng := vclock.NewRNG(seed)
+	perm := steadyInt.Get(lines)
+	rng.PermInto(perm)
+	if eng := newChaseSim(h, perm); eng != nil {
 		// Steady-state replay: warm-up cycle, then the measured loads.
+		steadyInt.Put(perm)
 		eng.run(lines, nil, nil)
 		eng.run(n, &total, nil)
 		eng.finish()
 	} else {
+		// Slow path: a real next-pointer walk. next[i] = successor line.
+		next := steadyInt.Get(lines)
+		for i := 0; i < lines; i++ {
+			next[perm[i]] = perm[(i+1)%lines]
+		}
+		steadyInt.Put(perm)
 		// Warm-up pass: touch every line once.
 		idx := 0
 		for i := 0; i < lines; i++ {
@@ -58,6 +73,7 @@ func ChaseLatency(h *Hierarchy, workingSetBytes int, seed uint64) LatencyPoint {
 			total += lat
 			idx = next[idx]
 		}
+		steadyInt.Put(next)
 	}
 	return LatencyPoint{
 		WorkingSetBytes: workingSetBytes,

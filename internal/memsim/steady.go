@@ -43,6 +43,7 @@ var (
 	steadyU32 bufpool.Pool[uint32]
 	steadyU8  bufpool.Pool[uint8]
 	steadyI32 bufpool.Pool[int32]
+	steadyInt bufpool.Pool[int]
 )
 
 // steadySim replays one cyclic sequence of distinct lines against one
@@ -73,6 +74,9 @@ type steadySim struct {
 	prevO, curO []uint8 // serving level per position, previous/current cycle
 	havePrev    bool
 	steady      bool
+	uniform     bool // proven: every position serves at servLv in steady state
+	servLv      int  // the uniform serving level (s.L = main memory)
+	coldLeft    int  // compulsory all-miss accesses left before the uniform steady state
 
 	cycCounts []uint64 // per-level serve counts over one steady cycle
 	cycExtra  uint64   // extra L1 hits over one steady cycle
@@ -99,12 +103,10 @@ func newSteadySim(h *Hierarchy, seq []uint64, extra []uint32) *steadySim {
 	L := len(h.levels)
 	s := &steadySim{
 		h: h, period: len(seq), seq: seq, extra: extra, L: L,
-		sets:  make([]int, L),
-		assoc: make([]uint64, L),
-		lat:   make([]vclock.Time, L+1),
-		touch: make([][]uint64, L), stamps: make([][]uint64, L), lastCy: make([][]uint32, L),
-		memStart: make([][]int32, L), memPos: make([][]int32, L),
-		prevO: steadyU8.Get(len(seq)), curO: steadyU8.Get(len(seq)),
+		sets:      make([]int, L),
+		assoc:     make([]uint64, L),
+		lat:       make([]vclock.Time, L+1),
+		curO:      steadyU8.Get(len(seq)),
 		cycCounts: make([]uint64, L+1),
 		dHits:     make([]uint64, L), dMiss: make([]uint64, L),
 		cycle: 1,
@@ -113,9 +115,6 @@ func newSteadySim(h *Hierarchy, seq []uint64, extra []uint32) *steadySim {
 		s.sets[lv] = c.sets
 		s.assoc[lv] = uint64(c.assoc)
 		s.lat[lv] = c.latency
-		s.touch[lv] = steadyU64.GetZeroed(c.sets)
-		s.stamps[lv] = steadyU64.GetZeroed(len(seq))
-		s.lastCy[lv] = steadyU32.GetZeroed(len(seq))
 	}
 	s.lat[L] = h.memLat
 	if extra != nil {
@@ -123,26 +122,280 @@ func newSteadySim(h *Hierarchy, seq []uint64, extra []uint32) *steadySim {
 			s.cycExtra += uint64(e)
 		}
 	}
+	// Uniform-outcome short-circuit: when the steady serving level is
+	// provable analytically (total overflow of every level, or total
+	// overflow down to a level that holds every touched set entirely),
+	// no stepping state is needed at all.
+	if s.proveUniform() {
+		return s
+	}
+	s.touch = make([][]uint64, L)
+	s.stamps = make([][]uint64, L)
+	s.lastCy = make([][]uint32, L)
+	s.memStart = make([][]int32, L)
+	s.memPos = make([][]int32, L)
+	s.prevO = steadyU8.Get(len(seq))
+	for lv, c := range h.levels {
+		s.touch[lv] = steadyU64.GetZeroed(c.sets)
+		s.stamps[lv] = steadyU64.GetZeroed(len(seq))
+		s.lastCy[lv] = steadyU32.GetZeroed(len(seq))
+	}
 	return s
 }
 
-// newChaseSim builds the engine for a pointer chase over 64-byte lines:
-// the visit order follows the cyclic permutation next starting at line 0.
-func newChaseSim(h *Hierarchy, next []int) *steadySim {
+// proveUniform detects the uniform-outcome regimes analytically.
+// Walking the levels fast-to-slow, the steady serving level is provable
+// when every level encountered TOTALLY OVERFLOWS (every touched set
+// holds at least assoc+1 distinct sequence lines) until a level is
+// reached that HOLDS EVERY TOUCHED SET ENTIRELY (at most assoc members
+// per set) — or main memory, the total-overflow case.
+//
+// All-miss above: by induction, when all prior accesses were served at
+// or below this level, each access touched it, so between two
+// consecutive touches of a line all of its assoc-or-more distinct
+// same-set neighbours were touched there — an LRU stack distance of at
+// least assoc, a miss by the stack-distance property. All-hit at the
+// serving level: every access reaches it, its sets only ever see their
+// at-most-assoc members, so after cycle 1's compulsory fill nothing is
+// ever evicted. (No such closed form exists for partially resident
+// sets: which members keep touching a slower level depends circularly
+// on their own serving levels, so those sizes keep the stepping
+// engine.)
+//
+// On success the engine is marked steady from position 0. For the
+// all-memory case cycle 1's compulsory misses price identically to the
+// steady cycles; for an intermediate serving level cycle 1 is priced by
+// the coldLeft phase (every access a compulsory full miss).
+func (s *steadySim) proveUniform() bool {
+	if s.period == 0 {
+		return false
+	}
+	lo, hi := s.seq[0], s.seq[0]
+	for _, ln := range s.seq[1:] {
+		if ln < lo {
+			lo = ln
+		}
+		if ln > hi {
+			hi = ln
+		}
+	}
+	// Lines are distinct, so a contiguous range has floor/ceil(P/S)
+	// members per touched set at a level with S sets — checkable in
+	// O(1). Chases (permutations of 0..P-1) and strided walks are
+	// contiguous; anything else falls back to a histogram.
+	contiguous := hi-lo+1 == uint64(s.period)
+	for lv := 0; lv < s.L; lv++ {
+		var minM, maxM uint64
+		if contiguous {
+			minM = uint64(s.period) / uint64(s.sets[lv])
+			maxM = (uint64(s.period) + uint64(s.sets[lv]) - 1) / uint64(s.sets[lv])
+		} else {
+			minM, maxM = s.histMembers(lv)
+		}
+		if maxM <= s.assoc[lv] {
+			// Fully resident serving level. The coldLeft pricing has no
+			// per-position extras, so engines with an extra vector keep
+			// the stepping path (the aggregate-only strided constructor
+			// never reaches here).
+			if s.extra != nil && s.cycExtra != 0 {
+				return false
+			}
+			s.markUniform(lv)
+			return true
+		}
+		if minM < s.assoc[lv]+1 {
+			return false
+		}
+	}
+	s.markAllMiss()
+	return true
+}
+
+// histMembers returns the (min over touched sets, max) member counts at
+// level lv for non-contiguous sequences by counting members per set.
+func (s *steadySim) histMembers(lv int) (minM, maxM uint64) {
+	ns := s.sets[lv]
+	cnt := steadyI32.GetZeroed(ns)
+	defer steadyI32.Put(cnt)
+	for _, ln := range s.seq {
+		cnt[ln%uint64(ns)]++
+	}
+	minM = uint64(s.period)
+	for _, c := range cnt {
+		if c == 0 {
+			continue
+		}
+		if uint64(c) < minM {
+			minM = uint64(c)
+		}
+		if uint64(c) > maxM {
+			maxM = uint64(c)
+		}
+	}
+	return minM, maxM
+}
+
+// markAllMiss pins the proven all-memory outcome vector so run() replays
+// every cycle — including the first — without ever calling step().
+func (s *steadySim) markAllMiss() {
+	for j := range s.curO {
+		s.curO[j] = uint8(s.L)
+	}
+	s.cycCounts[s.L] = uint64(s.period)
+	s.steady = true
+	s.uniform = true
+	s.servLv = s.L
+}
+
+// markUniform pins a proven uniform serving level strictly above memory:
+// the steady outcome vector serves every position at sv, and the first
+// cycle — every access a compulsory miss down to memory — is priced by
+// the coldLeft phase before the replay takes over.
+func (s *steadySim) markUniform(sv int) {
+	for j := range s.curO {
+		s.curO[j] = uint8(sv)
+	}
+	s.cycCounts[sv] = uint64(s.period)
+	s.steady = true
+	s.uniform = true
+	s.servLv = sv
+	s.coldLeft = s.period
+}
+
+// newChaseSim builds the engine for a pointer chase over 64-byte lines.
+// perm is the cyclic visit order; the walk starts at line 0, so the
+// engine's sequence is perm rotated to begin at 0 — exactly the order a
+// next-pointer walk from line 0 visits, recovered with two sequential
+// copies instead of a cache-hostile random walk.
+func newChaseSim(h *Hierarchy, perm []int) *steadySim {
 	if len(h.levels) == 0 || h.levels[0].lineBytes != 64 {
 		return nil
 	}
-	seq := steadyU64.Get(len(next))
-	idx := 0
-	for i := range seq {
-		seq[i] = uint64(idx)
-		idx = next[idx]
+	j0 := 0
+	for j, v := range perm {
+		if v == 0 {
+			j0 = j
+			break
+		}
+	}
+	seq := steadyU64.Get(len(perm))
+	k := 0
+	for _, v := range perm[j0:] {
+		seq[k] = uint64(v)
+		k++
+	}
+	for _, v := range perm[:j0] {
+		seq[k] = uint64(v)
+		k++
 	}
 	if s := newSteadySim(h, seq, nil); s != nil {
 		return s
 	}
 	steadyU64.Put(seq)
 	return nil
+}
+
+// newChaseUniformSim builds the engine for a pointer chase whose steady
+// serving level is provable from the geometry alone: every level either
+// totally overflows or (first) holds every touched set entirely. In
+// that regime the outcome is uniform regardless of visit order, so the
+// permutation is never materialized — every point of the Figure 5
+// doubling sweep and ext-stride's gather bound price without the
+// permutation's allocation or a single simulated access. Returns nil
+// when some level is partially resident (caller builds the permutation
+// and takes the stepping or slow path).
+func newChaseUniformSim(h *Hierarchy, lines int) *steadySim {
+	if h.noFastPath || noFastPathEnv || len(h.levels) == 0 || lines <= 0 {
+		return nil
+	}
+	if h.levels[0].lineBytes != 64 {
+		return nil
+	}
+	lb := h.levels[0].lineBytes
+	for _, c := range h.levels[1:] {
+		if c.lineBytes != lb {
+			return nil
+		}
+	}
+	// The chase visits lines {0..lines-1}: per touched set a level with
+	// S sets holds floor(lines/S) to ceil(lines/S) of them (see
+	// proveUniform).
+	L := len(h.levels)
+	sv := L
+	for lv, c := range h.levels {
+		ceilM := (uint64(lines) + uint64(c.sets) - 1) / uint64(c.sets)
+		if ceilM <= uint64(c.assoc) {
+			sv = lv
+			break
+		}
+		if uint64(lines)/uint64(c.sets) < uint64(c.assoc)+1 {
+			return nil
+		}
+	}
+	s := &steadySim{
+		h: h, period: lines, L: L,
+		lat:       make([]vclock.Time, L+1),
+		curO:      steadyU8.Get(lines),
+		cycCounts: make([]uint64, L+1),
+		dHits:     make([]uint64, L), dMiss: make([]uint64, L),
+		cycle: 1,
+	}
+	for lv, c := range h.levels {
+		s.lat[lv] = c.latency
+	}
+	s.lat[L] = h.memLat
+	if sv == L {
+		s.markAllMiss()
+	} else {
+		s.markUniform(sv)
+	}
+	return s
+}
+
+// newStridedAllMissSim builds an aggregate-only engine for a strided
+// walk whose line footprint provably overflows every level: the walk
+// touches contiguous lines 0..G-1 (strides up to one line; larger
+// strides leave gaps and take the generic path), so the overflow check
+// is O(1) per level and neither the line sequence nor the per-position
+// extra vector is materialized — only their aggregates (period G and
+// the n-G same-line follow-up hits). Callers must run whole cycles with
+// a nil latSink (StridedBandwidth's shape); partial-cycle replay would
+// need the per-position extras this engine deliberately skips.
+func newStridedAllMissSim(h *Hierarchy, n int, stride uint64) *steadySim {
+	if h.noFastPath || noFastPathEnv || len(h.levels) == 0 || stride == 0 || n <= 0 {
+		return nil
+	}
+	lb := uint64(h.levels[0].lineBytes)
+	for _, c := range h.levels[1:] {
+		if uint64(c.lineBytes) != lb {
+			return nil
+		}
+	}
+	if stride > lb {
+		return nil
+	}
+	G := int(uint64(n-1)*stride/lb) + 1
+	for _, c := range h.levels {
+		if uint64(G)/uint64(c.sets) < uint64(c.assoc)+1 {
+			return nil
+		}
+	}
+	L := len(h.levels)
+	s := &steadySim{
+		h: h, period: G, L: L,
+		lat:       make([]vclock.Time, L+1),
+		curO:      steadyU8.Get(G),
+		cycCounts: make([]uint64, L+1),
+		dHits:     make([]uint64, L), dMiss: make([]uint64, L),
+		cycle:    1,
+		cycExtra: uint64(n - G),
+	}
+	for lv, c := range h.levels {
+		s.lat[lv] = c.latency
+	}
+	s.lat[L] = h.memLat
+	s.markAllMiss()
+	return s
 }
 
 // newStridedSim builds the engine for one pass of n accesses at
@@ -188,6 +441,16 @@ func newStridedSim(h *Hierarchy, n int, stride uint64) *steadySim {
 // serve counts into counts (len L+1, not cleared) and, when latSink is
 // non-nil, adding each access's latency to *latSink in access order.
 func (s *steadySim) run(nPos int, latSink *vclock.Time, counts []uint64) {
+	if s.coldLeft > 0 && nPos > 0 {
+		m := s.coldLeft
+		if m > nPos {
+			m = nPos
+		}
+		s.priceCold(m, latSink, counts)
+		s.coldLeft -= m
+		s.pos = (s.pos + m) % s.period
+		nPos -= m
+	}
 	for nPos > 0 {
 		if s.steady {
 			if s.pos == 0 && nPos >= s.period {
@@ -207,6 +470,30 @@ func (s *steadySim) run(nPos int, latSink *vclock.Time, counts []uint64) {
 		}
 		s.step(latSink, counts)
 		nPos--
+	}
+}
+
+// priceCold prices m compulsory accesses of a proven-uniform engine's
+// first cycle: the hierarchy is flushed and every line is distinct, so
+// each access misses at every level and is served by main memory.
+func (s *steadySim) priceCold(m int, latSink *vclock.Time, counts []uint64) {
+	um := uint64(m)
+	s.dMem += um
+	for lv := 0; lv < s.L; lv++ {
+		s.dMiss[lv] += um
+	}
+	if counts != nil {
+		counts[s.L] += um
+	}
+	if latSink != nil {
+		// The same float additions in the same order as the per-element
+		// path (uniform memory latency per access).
+		t := *latSink
+		lat := s.lat[s.L]
+		for i := m; i > 0; i-- {
+			t += lat
+		}
+		*latSink = t
 	}
 }
 
@@ -336,10 +623,23 @@ func (s *steadySim) replayRange(from, m int, latSink *vclock.Time, counts []uint
 // order because float addition is order-sensitive.
 func (s *steadySim) replayCycles(k int, latSink *vclock.Time, counts []uint64) {
 	if latSink != nil {
-		for c := 0; c < k; c++ {
-			s.replayRange(0, s.period, latSink, counts)
+		if s.uniform && s.extra == nil && s.cycExtra == 0 {
+			// Every access adds the same serving-level latency: the same
+			// float additions in the same order, in a loop tight enough
+			// that the whole sweep prices in milliseconds. Counters fall
+			// through to the arithmetic below.
+			t := *latSink
+			lat := s.lat[s.servLv]
+			for i := k * s.period; i > 0; i-- {
+				t += lat
+			}
+			*latSink = t
+		} else {
+			for c := 0; c < k; c++ {
+				s.replayRange(0, s.period, latSink, counts)
+			}
+			return
 		}
-		return
 	}
 	uk := uint64(k)
 	for lv := 0; lv <= s.L; lv++ {
@@ -415,7 +715,9 @@ func (s *steadySim) finish() {
 		c.misses += s.dMiss[lv]
 	}
 	s.h.memAccesses += s.dMem
-	for lv := 0; lv < s.L; lv++ {
+	// All-miss engines never allocate stepping state (and the chase
+	// variant has no seq); release only what exists.
+	for lv := 0; s.touch != nil && lv < s.L; lv++ {
 		steadyU64.Put(s.touch[lv])
 		steadyU64.Put(s.stamps[lv])
 		steadyU32.Put(s.lastCy[lv])
@@ -424,11 +726,15 @@ func (s *steadySim) finish() {
 			steadyI32.Put(s.memPos[lv])
 		}
 	}
-	steadyU64.Put(s.seq)
+	if s.seq != nil {
+		steadyU64.Put(s.seq)
+	}
 	if s.extra != nil {
 		steadyU32.Put(s.extra)
 	}
-	steadyU8.Put(s.prevO)
+	if s.prevO != nil {
+		steadyU8.Put(s.prevO)
+	}
 	steadyU8.Put(s.curO)
 	s.h = nil
 }

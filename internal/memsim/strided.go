@@ -1,6 +1,10 @@
 package memsim
 
-import "maia/internal/machine"
+import (
+	"sync"
+
+	"maia/internal/machine"
+)
 
 // Strided and random access experiments: the measured basis for the
 // execution model's stride derates. Non-unit strides waste most of every
@@ -26,7 +30,11 @@ func StridedBandwidth(h *Hierarchy, proc machine.ProcessorSpec, workingSetBytes,
 		passes = 4096/accesses + 1
 	}
 	counts := make([]uint64, len(h.levels)+1)
-	if eng := newStridedSim(h, accesses, uint64(strideBytes)); eng != nil {
+	eng := newStridedAllMissSim(h, accesses, uint64(strideBytes))
+	if eng == nil {
+		eng = newStridedSim(h, accesses, uint64(strideBytes))
+	}
+	if eng != nil {
 		// Steady-state replay: one warm-up pass, then the measured passes.
 		eng.run(eng.period, nil, nil)
 		for p := 0; p < passes; p++ {
@@ -70,10 +78,36 @@ func GatherLatencyBound(h *Hierarchy, workingSetBytes, elemBytes int, seed uint6
 	return float64(elemBytes) / (pt.LatencyNs * 1e-9) / 1e9
 }
 
+// derateMemo caches StrideDerate results. The measurement is a pure
+// function of the (catalog) processor spec and the stride, so repeated
+// jobs in one process — the maiad cold path re-pricing ext-stride —
+// reuse the first answer bit-for-bit. Keyed by spec name: catalog specs
+// are identified by name.
+var (
+	derateMu   sync.Mutex
+	derateMemo = map[derateKey]float64{}
+)
+
+type derateKey struct {
+	proc   string
+	stride int
+}
+
 // StrideDerate reports the measured unit-vs-strided bandwidth ratio for
 // a DRAM-resident working set — the simulation-backed counterpart of the
-// execution model's calibrated derates.
+// execution model's calibrated derates. Results are memoized per
+// (processor, stride); MAIA_NO_FASTPATH disables the memo along with
+// every other fast path so the slow-path CI job re-measures.
 func StrideDerate(proc machine.ProcessorSpec, strideBytes int) float64 {
+	key := derateKey{proc: proc.Name, stride: strideBytes}
+	if !noFastPathEnv {
+		derateMu.Lock()
+		d, ok := derateMemo[key]
+		derateMu.Unlock()
+		if ok {
+			return d
+		}
+	}
 	ws := 32 << 20
 	// The unit and strided measurements are independent (each flushes the
 	// hierarchy it is given), so run them as a two-point sweep.
@@ -82,5 +116,11 @@ func StrideDerate(proc machine.ProcessorSpec, strideBytes int) float64 {
 	sweepHier(proc, 2, func(h *Hierarchy, i int) {
 		bw[i] = StridedBandwidth(h, proc, ws, strides[i], 8)
 	})
-	return bw[1] / bw[0]
+	d := bw[1] / bw[0]
+	if !noFastPathEnv {
+		derateMu.Lock()
+		derateMemo[key] = d
+		derateMu.Unlock()
+	}
+	return d
 }

@@ -110,12 +110,21 @@ func MPIRun(m core.Model, b Benchmark, c Class, dev machine.Device, ranks int, n
 	if err != nil {
 		return MPIResult{}, err
 	}
-	if err := world.Run(func(r *simmpi.Rank) {
-		iterationScript(b, s, computePerIter, r)
-	}); err != nil {
-		return MPIResult{}, err
+	var perIter vclock.Time
+	if t, ok := iterationReplay(world, b, s, computePerIter); ok {
+		// Closed form: the iteration script replayed through the
+		// symmetric-clock engines (seq.go) — bit-identical to the
+		// goroutine run across the whole rank sweep.
+		perIter = t
+	} else {
+		if err := world.Run(func(r *simmpi.Rank) {
+			iterationScript(b, s, computePerIter, r)
+		}); err != nil {
+			return MPIResult{}, err
+		}
+		perIter = world.MaxTime()
 	}
-	total := world.MaxTime() * vclock.Time(s.Iters)
+	total := perIter * vclock.Time(s.Iters)
 
 	return MPIResult{
 		Bench: b, Class: c, Device: dev, Ranks: ranks,

@@ -68,6 +68,12 @@ const (
 	// shape of the NPB communication scripts. Valid in SeqStep scripts,
 	// not in CollectiveTime.
 	PairKind
+	// RingKind is a Sendrecv exchange sending to (id+1)%n and receiving
+	// from (id-1+n)%n — the shifted-neighbor halo of MG's level sweeps
+	// and BT/SP's directional face exchanges. Works on any world of two
+	// or more ranks (no parity constraint, unlike PairKind). Valid in
+	// SeqStep scripts, not in CollectiveTime.
+	RingKind
 	// ComputeStep is a SeqStep that performs no communication.
 	ComputeStep
 )
@@ -85,6 +91,8 @@ func (k CollectiveKind) String() string {
 		return "MPI_AlltoAll"
 	case PairKind:
 		return "MPI_Sendrecv"
+	case RingKind:
+		return "MPI_Sendrecv(ring)"
 	case ComputeStep:
 		return "compute"
 	default:

@@ -85,7 +85,10 @@ func (w *World) rackStepReplayable(st SeqStep) bool {
 		// mixes intra- and inter-node pairs and falls back.
 		return R == 1 || R%2 == 0
 	default:
-		return false // Bcast's binomial trees are not index-symmetric
+		// Bcast's binomial trees are not index-symmetric, and RingKind's
+		// node-boundary exchanges cross varying hop counts (the same
+		// reason RepeatSendrecv refuses rack worlds).
+		return false
 	}
 }
 
@@ -381,6 +384,10 @@ func (w *World) validateSeq(steps []SeqStep) error {
 			if w.size%2 != 0 {
 				return fmt.Errorf("simmpi: step %d pairs id^1 in an odd %d-rank world", i, w.size)
 			}
+		case RingKind:
+			if w.size < 2 {
+				return fmt.Errorf("simmpi: step %d ring-exchanges in a %d-rank world", i, w.size)
+			}
 		default:
 			return fmt.Errorf("simmpi: step %d has unknown kind %v", i, st.Kind)
 		}
@@ -408,6 +415,12 @@ func seqBody(r *Rank, steps []SeqStep, iters int) {
 				partner := r.ID() ^ 1
 				buf := GetPayload(st.Bytes)
 				Recycle(r.Sendrecv(partner, 0, buf, partner, 0))
+				Recycle(buf)
+			case RingKind:
+				right := (r.ID() + 1) % n
+				left := (r.ID() - 1 + n) % n
+				buf := GetPayload(st.Bytes)
+				Recycle(r.Sendrecv(right, 0, buf, left, 0))
 				Recycle(buf)
 			case BcastKind:
 				buf := GetPayload(st.Bytes)
@@ -472,6 +485,10 @@ func (w *World) flatRepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
 			if w.size%2 != 0 {
 				return 0, false
 			}
+		case RingKind:
+			// A ring shift is symmetric for any size >= 2: every rank
+			// posts one send and receives one message posted at the same
+			// clock (repeatable() already requires size >= 2).
 		case AllreduceKind:
 			if w.size&(w.size-1) != 0 {
 				return 0, false
@@ -488,7 +505,7 @@ func (w *World) flatRepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
 			}
 			switch st.Kind {
 			case ComputeStep:
-			case PairKind:
+			case PairKind, RingKind:
 				s.exchange(st.Bytes)
 			default:
 				if _, ok := w.replayOnce(&s, st.Kind, st.Bytes); !ok {

@@ -1,0 +1,77 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"maia/internal/simtrace"
+	"maia/internal/vclock"
+)
+
+// The pipeline replay prices LU's wavefront (Figure 20) in closed form.
+// The scalar-clock argument of repeat.go does not apply — rank clocks
+// are NOT equal during a pipeline fill — but a weaker symmetry does: in
+// a homogeneous flat world every (i, i+1) edge has the same transfer
+// cost, so one clock VECTOR t[0..n) stepped through the exact
+// send/recvAt float recurrences reproduces every rank's clock bit for
+// bit, without goroutines or message queues.
+//
+// Round r of rank i depends only on round r of rank i-1 (the upstream
+// boundary message) and rank i's own earlier rounds, so a round-major,
+// rank-ascending traversal visits every operation after its
+// dependencies with each rank's program order preserved.
+
+// RepeatPipeline prices `rounds` wavefront rounds on a line of ranks:
+// each round, rank i>0 receives msgBytes from rank i-1, every rank
+// computes for `compute`, and rank i<n-1 sends msgBytes to rank i+1 —
+// the LU hyperplane sweep. ok is false when the goroutine engine is
+// needed: fault plans, heterogeneous placement, rack worlds (node-
+// boundary edges cost differently than intra-node ones), worlds smaller
+// than two ranks, or the MAIA_NO_FASTPATH escape hatch.
+//
+// Like RepeatOp, RepeatPipeline does not populate per-rank profiles or
+// final clocks; callers use the returned makespan.
+func (w *World) RepeatPipeline(msgBytes, rounds int, compute vclock.Time) (vclock.Time, bool) {
+	if w.rack != nil || !w.repeatable() || msgBytes < 0 || rounds < 0 || compute < 0 {
+		return 0, false
+	}
+	n := w.size
+	t := make([]vclock.Time, n)
+	post := make([]vclock.Time, n)
+	sendSide, flight, rendezvous := w.transferCost(0, 1, msgBytes)
+	var msgs, bytes int64
+	for round := 0; round < rounds; round++ {
+		for id := 0; id < n; id++ {
+			if id > 0 {
+				// recvAt: the transfer starts at the upstream post (or,
+				// for rendezvous sizes, when both sides are ready) and
+				// the receiver's clock advances to its landing.
+				start := post[id-1]
+				if rendezvous {
+					start = vclock.Max(post[id-1], t[id])
+				}
+				if done := start + flight; done > t[id] {
+					t[id] = done
+				}
+			}
+			t[id] += compute
+			if id < n-1 {
+				// send: record the post time, charge the injection cost.
+				post[id] = t[id]
+				t[id] += sendSide
+				msgs++
+				bytes += int64(msgBytes)
+			}
+		}
+	}
+	total := vclock.MaxOf(t...)
+	if tr := w.cfg.Tracer; tr != nil {
+		track := w.cfg.TraceLabel
+		if track == "" {
+			track = "repeat"
+		}
+		tr.Span(track, simtrace.CatMPI, fmt.Sprintf("pipeline x%d", rounds), 0, total, bytes)
+		tr.Count(simtrace.CatMPI, "messages", msgs)
+		tr.Count(simtrace.CatMPI, "bytes", bytes)
+	}
+	return total, true
+}
