@@ -27,6 +27,12 @@
 // given power-of-two count instead of the full 128-node system. Golden
 // snapshots record the full sweep, so -nodes rejects -verify/-update.
 //
+// With -fleet the ext-fleet experiments cap their simulated fleet sizes
+// at the given node count (1..512), and -scheduler selects the fleet's
+// placement policy; -seed re-rolls the fleet's sampled conditions,
+// arrivals, and failures. Like the other env-shaping flags, both reject
+// -verify/-update.
+//
 // Usage:
 //
 //	maiabench -list
@@ -50,6 +56,7 @@ import (
 
 	"maia/internal/harness"
 	"maia/internal/simfault"
+	"maia/internal/simfleet"
 )
 
 func main() {
@@ -73,7 +80,7 @@ func run(args []string) error {
 	jf := harness.AddJobFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
-			"usage: maiabench [-quick] [-parallel N] [-faults PLAN [-seed S]] [-nodes N] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
+			"usage: maiabench [-quick] [-parallel N] [-faults PLAN [-seed S]] [-nodes N] [-fleet N [-scheduler P]] [-verify|-update] [-trace FILE] [-trace-summary] [-stats] [-benchjson FILE [-benchlabel L]] [-list] <experiment>... | all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +91,9 @@ func run(args []string) error {
 	}
 	if (jf.Faults != "" || jf.Seed != 0) && (*verify || *update) {
 		return fmt.Errorf("golden snapshots are healthy-machine: drop -faults/-seed with -verify/-update")
+	}
+	if (jf.Fleet != 0 || jf.Scheduler != "") && (*verify || *update) {
+		return fmt.Errorf("golden snapshots use the default fleet shapes: drop -fleet/-scheduler with -verify/-update")
 	}
 
 	reg := harness.Paper()
@@ -100,6 +110,16 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Println("fault plans (-faults):")
 		for _, p := range simfault.Plans() {
+			fmt.Printf("%-22s %s\n", p.Name, p.Note)
+		}
+		fmt.Println()
+		fmt.Println("fleet schedulers (-scheduler):")
+		for _, p := range simfleet.Policies() {
+			fmt.Printf("%-22s %s\n", p.Name, p.Note)
+		}
+		fmt.Println()
+		fmt.Println("fleet MTBF profiles (jobspec fleet.mtbf):")
+		for _, p := range simfleet.Profiles() {
 			fmt.Printf("%-22s %s\n", p.Name, p.Note)
 		}
 		return nil

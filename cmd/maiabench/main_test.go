@@ -91,6 +91,26 @@ func TestRunFaults(t *testing.T) {
 	}
 }
 
+// The fleet flags reshape the ext-fleet experiments and, like every
+// env-shaping flag, reject golden verification.
+func TestRunFleetFlags(t *testing.T) {
+	if err := run([]string{"-quick", "-fleet", "8", "-scheduler", "round-robin", "-seed", "3", "ext-fleet-recovery"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-fleet", "600", "ext-fleet-recovery"}); err == nil {
+		t.Fatal("-fleet 600 accepted (max 512)")
+	}
+	if err := run([]string{"-quick", "-scheduler", "clairvoyant", "ext-fleet-recovery"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if err := run([]string{"-fleet", "8", "-verify", "ext-fleet-recovery"}); err == nil {
+		t.Fatal("-fleet -verify accepted (goldens use the default fleet shapes)")
+	}
+	if err := run([]string{"-scheduler", "random", "-update", "ext-fleet-recovery"}); err == nil {
+		t.Fatal("-scheduler -update accepted (goldens use the default fleet shapes)")
+	}
+}
+
 // The embedded fallback serves snapshots when the -golden directory does
 // not exist (e.g. maiabench run outside the repository).
 func TestGoldenSourceFallsBackToEmbedded(t *testing.T) {

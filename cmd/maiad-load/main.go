@@ -8,11 +8,19 @@
 // the cache, the coalescer, and the engine's closed-form cold path at a
 // controlled ratio.
 //
+// With -fleet-frac a slice of the offered load becomes fleet traffic
+// against POST /v1/fleet: half of it replays one fixed quick fleet
+// scenario (a hit after the first draw), half mints fresh-seed fleet
+// simulations that run the scheduler/remediation loop cold — so the
+// fleet endpoint's cache, coalescer, and simulation path are measured
+// under the same sustained load as the plain jobs, reported separately
+// as fleet_p99_ns.
+//
 // The report (throughput, client-side latency quantiles, the
-// misses-only cold p99, cache-status counts, and the server's own final
-// /metrics snapshot) is written as JSON to -out and summarized on
-// stderr. -min-rps, -min-hit-ratio, and -max-cold-p99 turn the run into
-// a pass/fail gate for CI.
+// misses-only cold p99, the fleet-only p99, cache-status counts, and
+// the server's own final /metrics snapshot) is written as JSON to -out
+// and summarized on stderr. -min-rps, -min-hit-ratio, -max-cold-p99,
+// and -max-fleet-p99 turn the run into a pass/fail gate for CI.
 //
 // Usage:
 //
@@ -57,6 +65,21 @@ var heavyColdExperiments = []string{"fig5", "fig20", "ext-stride"}
 // it only has to make each distinct seed a distinct content address.
 const coldFaultPlan = "phi-straggler"
 
+// fleetExperiment is the scenario fleet traffic runs: the quick
+// recovery figure capped at a small fleet, hot as one fixed spec and
+// cold as fresh-seed re-rolls of the same shape.
+const fleetExperiment = "ext-fleet-recovery"
+
+// fleetSpec builds one fleet job body; seed 0 is the fixed hot spec.
+func fleetSpec(seed uint64) []byte {
+	return harness.JobSpec{
+		Experiment: fleetExperiment,
+		Quick:      true,
+		Seed:       seed,
+		Fleet:      &harness.FleetSpec{Nodes: 8},
+	}.MarshalCanonical()
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "maiad-load:", err)
@@ -91,6 +114,12 @@ type Report struct {
 	// ColdP99Ns is the p99 over cache MISSES only — the cold path the
 	// heavy experiments exercise, invisible in the hit-dominated P99Ns.
 	ColdP99Ns int64 `json:"cold_p99_ns"`
+	// FleetFraction is the slice of requests routed to POST /v1/fleet;
+	// FleetRequests counts them and FleetP99Ns is their p99 (hits and
+	// cold fleet simulations together).
+	FleetFraction float64 `json:"fleet_fraction"`
+	FleetRequests int64   `json:"fleet_requests"`
+	FleetP99Ns    int64   `json:"fleet_p99_ns"`
 	// Hits, Misses, Coalesced count the cache statuses clients saw.
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
@@ -109,9 +138,11 @@ func run(args []string, logw io.Writer) error {
 	hot := flags.Float64("hot", 0.9, "fraction of requests replaying cacheable specs (0..1)")
 	out := flags.String("out", "", "write the JSON report to this file")
 	label := flags.String("label", "maiad-load", "label for the report")
+	fleetFrac := flags.Float64("fleet-frac", 0.1, "fraction of requests sent to POST /v1/fleet (0 disables fleet traffic)")
 	minRPS := flags.Float64("min-rps", 0, "fail unless throughput reaches this many req/s")
 	minHitRatio := flags.Float64("min-hit-ratio", 0, "fail unless the cache hit ratio reaches this")
 	maxColdP99 := flags.Duration("max-cold-p99", 0, "fail if the misses-only (cold path) p99 exceeds this")
+	maxFleetP99 := flags.Duration("max-fleet-p99", 0, "fail if the fleet-traffic p99 exceeds this")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +151,9 @@ func run(args []string, logw io.Writer) error {
 	}
 	if *hot < 0 || *hot > 1 {
 		return fmt.Errorf("-hot %v outside [0,1]", *hot)
+	}
+	if *fleetFrac < 0 || *fleetFrac > 1 {
+		return fmt.Errorf("-fleet-frac %v outside [0,1]", *fleetFrac)
 	}
 
 	base := strings.TrimRight(*addr, "/")
@@ -139,12 +173,15 @@ func run(args []string, logw io.Writer) error {
 	var (
 		hist      maiad.Histogram
 		coldHist  maiad.Histogram // misses only
+		fleetHist maiad.Histogram // fleet traffic only
 		requests  atomic.Int64
 		errorsN   atomic.Int64
 		hits      atomic.Int64
 		misses    atomic.Int64
 		coalesced atomic.Int64
 		coldSeq   atomic.Uint64
+		fleetSeq  atomic.Uint64
+		fleetN    atomic.Int64
 	)
 	client := &http.Client{Timeout: 30 * time.Second}
 	deadline := time.Now().Add(*duration)
@@ -156,9 +193,21 @@ func run(args []string, logw io.Writer) error {
 			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for time.Now().Before(deadline) {
 				var body []byte
-				if rng.Float64() < *hot {
+				endpoint := "/v1/jobs"
+				fleet := rng.Float64() < *fleetFrac
+				switch {
+				case fleet && rng.Float64() < *hot:
+					// The fixed fleet scenario: cold exactly once, a
+					// cache hit for the rest of the run.
+					endpoint, body = "/v1/fleet", fleetSpec(0)
+				case fleet:
+					// A never-seen fleet simulation (seeds start at 2:
+					// seed 1 is the catalog default and normalizes to
+					// the fixed spec's key).
+					endpoint, body = "/v1/fleet", fleetSpec(1+fleetSeq.Add(1))
+				case rng.Float64() < *hot:
 					body = hotPool[rng.Intn(len(hotPool))]
-				} else {
+				default:
 					body = (harness.JobSpec{
 						Experiment: heavyColdExperiments[rng.Intn(len(heavyColdExperiments))],
 						FaultPlan:  coldFaultPlan,
@@ -166,10 +215,14 @@ func run(args []string, logw io.Writer) error {
 					}).MarshalCanonical()
 				}
 				start := time.Now()
-				status, err := postJob(client, base+"/v1/jobs", body)
+				status, err := postJob(client, base+endpoint, body)
 				elapsed := time.Since(start)
 				hist.Observe(elapsed)
 				requests.Add(1)
+				if fleet {
+					fleetN.Add(1)
+					fleetHist.Observe(elapsed)
+				}
 				switch {
 				case err != nil:
 					errorsN.Add(1)
@@ -210,6 +263,9 @@ func run(args []string, logw io.Writer) error {
 		P99Ns:         hist.Quantile(0.99).Nanoseconds(),
 		MaxNs:         hist.Max().Nanoseconds(),
 		ColdP99Ns:     coldHist.Quantile(0.99).Nanoseconds(),
+		FleetFraction: *fleetFrac,
+		FleetRequests: fleetN.Load(),
+		FleetP99Ns:    fleetHist.Quantile(0.99).Nanoseconds(),
 		Hits:          hits.Load(),
 		Misses:        misses.Load(),
 		Coalesced:     coalesced.Load(),
@@ -220,9 +276,10 @@ func run(args []string, logw io.Writer) error {
 	}
 
 	fmt.Fprintf(logw,
-		"maiad-load: %d requests in %v (%.1f req/s), p50 %v p95 %v p99 %v cold-p99 %v, %d hits %d misses %d coalesced %d errors (hit ratio %.3f)\n",
+		"maiad-load: %d requests in %v (%.1f req/s), p50 %v p95 %v p99 %v cold-p99 %v fleet-p99 %v (%d fleet), %d hits %d misses %d coalesced %d errors (hit ratio %.3f)\n",
 		n, elapsed, rep.ThroughputRPS,
 		time.Duration(rep.P50Ns), time.Duration(rep.P95Ns), time.Duration(rep.P99Ns), time.Duration(rep.ColdP99Ns),
+		time.Duration(rep.FleetP99Ns), rep.FleetRequests,
 		rep.Hits, rep.Misses, rep.Coalesced, rep.Errors, rep.HitRatio)
 
 	if *out != "" {
@@ -247,6 +304,9 @@ func run(args []string, logw io.Writer) error {
 	}
 	if *maxColdP99 > 0 && rep.Misses > 0 && time.Duration(rep.ColdP99Ns) > *maxColdP99 {
 		return fmt.Errorf("cold-path p99 %v above the %v ceiling", time.Duration(rep.ColdP99Ns), *maxColdP99)
+	}
+	if *maxFleetP99 > 0 && rep.FleetRequests > 0 && time.Duration(rep.FleetP99Ns) > *maxFleetP99 {
+		return fmt.Errorf("fleet-traffic p99 %v above the %v ceiling", time.Duration(rep.FleetP99Ns), *maxFleetP99)
 	}
 	return nil
 }

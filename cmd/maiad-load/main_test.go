@@ -63,6 +63,52 @@ func TestLoadRun(t *testing.T) {
 	}
 }
 
+// Fleet traffic reaches POST /v1/fleet and reports its own p99; the
+// -max-fleet-p99 gate fails when the ceiling is impossible.
+func TestLoadFleetTraffic(t *testing.T) {
+	s, err := maiad.New(maiad.Config{Golden: harness.EmbeddedGolden(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	var log strings.Builder
+	err = run([]string{
+		"-addr", ts.URL,
+		"-duration", "1s",
+		"-clients", "2",
+		"-fleet-frac", "0.5",
+		"-out", out,
+	}, &log)
+	if err != nil {
+		t.Fatalf("fleet load run failed: %v\nlog:\n%s", err, log.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.FleetFraction != 0.5 || rep.FleetRequests == 0 || rep.FleetP99Ns <= 0 {
+		t.Fatalf("fleet traffic not measured: %+v", rep)
+	}
+
+	log.Reset()
+	err = run([]string{
+		"-addr", ts.URL,
+		"-duration", "300ms",
+		"-fleet-frac", "1",
+		"-max-fleet-p99", "1ns",
+	}, &log)
+	if err == nil || !strings.Contains(err.Error(), "fleet-traffic p99") {
+		t.Fatalf("impossible fleet p99 ceiling did not fail the run: %v", err)
+	}
+}
+
 // The gate flags fail the run when the floor is unreachable.
 func TestLoadGates(t *testing.T) {
 	s, err := maiad.New(maiad.Config{Golden: harness.EmbeddedGolden(), Workers: 2})
@@ -92,6 +138,9 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if err := run([]string{"-hot", "1.5"}, &log); err == nil {
 		t.Error("hot fraction above 1 accepted")
+	}
+	if err := run([]string{"-fleet-frac", "-0.1"}, &log); err == nil {
+		t.Error("negative fleet fraction accepted")
 	}
 	if err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "100ms"}, &log); err == nil {
 		t.Error("unreachable server accepted")

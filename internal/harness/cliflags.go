@@ -28,6 +28,10 @@ type JobFlags struct {
 	Seed uint64
 	// Nodes caps the ext-rack node sweeps (-nodes).
 	Nodes int
+	// Fleet caps the ext-fleet simulated fleet sizes (-fleet).
+	Fleet int
+	// Scheduler selects the fleet placement policy (-scheduler).
+	Scheduler string
 	// Trace is the Chrome trace_event output path (-trace).
 	Trace string
 	// TraceSummary requests the per-category text rollup (-trace-summary).
@@ -37,7 +41,8 @@ type JobFlags struct {
 }
 
 // AddJobFlags registers the full shared surface on fs and returns the
-// bound flags: -quick, -faults, -seed, -nodes, -trace, -trace-summary.
+// bound flags: -quick, -faults, -seed, -nodes, -fleet, -scheduler,
+// -trace, -trace-summary.
 func AddJobFlags(fs *flag.FlagSet) *JobFlags {
 	f := &JobFlags{}
 	f.RegisterRun(fs)
@@ -46,13 +51,15 @@ func AddJobFlags(fs *flag.FlagSet) *JobFlags {
 }
 
 // RegisterRun registers the environment-shaping flags (-quick, -faults,
-// -seed, -nodes).
+// -seed, -nodes, -fleet, -scheduler).
 func (f *JobFlags) RegisterRun(fs *flag.FlagSet) {
 	f.prog = fs.Name()
 	fs.BoolVar(&f.Quick, "quick", false, "trim sweep densities for a fast pass")
 	fs.StringVar(&f.Faults, "faults", "", "run under a named fault plan (see -list for the catalog); incompatible with -verify/-update")
-	fs.Uint64Var(&f.Seed, "seed", 0, "re-seed the -faults plan (0 = the catalog seed); incompatible with -verify/-update")
+	fs.Uint64Var(&f.Seed, "seed", 0, "re-seed the -faults plan or the -fleet draws (0 = the defaults); incompatible with -verify/-update")
 	fs.IntVar(&f.Nodes, "nodes", 0, "cap the ext-rack node sweeps at this power-of-two node count (0 = full 128-node system); incompatible with -verify/-update")
+	fs.IntVar(&f.Fleet, "fleet", 0, "cap the ext-fleet simulated fleet sizes at this node count (0 = default shapes); incompatible with -verify/-update")
+	fs.StringVar(&f.Scheduler, "scheduler", "", "fleet placement policy for the ext-fleet experiments (see -list for the catalog); incompatible with -verify/-update")
 }
 
 // RegisterTrace registers the tracing flags (-trace, -trace-summary).
@@ -71,8 +78,10 @@ func (f *JobFlags) RegisterFaults(fs *flag.FlagSet) {
 }
 
 // Spec returns the JobSpec the flags describe for one experiment ID.
+// The -fleet/-scheduler pair becomes a v2 fleet block (so a fault plan
+// alongside it is rejected exactly like on the wire).
 func (f *JobFlags) Spec(experiment string) JobSpec {
-	return JobSpec{
+	spec := JobSpec{
 		SchemaVersion: JobSpecSchemaVersion,
 		Experiment:    experiment,
 		Quick:         f.Quick,
@@ -80,6 +89,10 @@ func (f *JobFlags) Spec(experiment string) JobSpec {
 		FaultPlan:     f.Faults,
 		Seed:          f.Seed,
 	}
+	if f.Fleet != 0 || f.Scheduler != "" {
+		spec.Fleet = &FleetSpec{Nodes: f.Fleet, Scheduler: f.Scheduler}
+	}
+	return spec
 }
 
 // FaultPlan resolves the -faults/-seed pair to a plan (nil when -faults

@@ -61,8 +61,42 @@ func TestJobFlagsRejections(t *testing.T) {
 	if err := parse("-seed", "4"); !errors.Is(err, ErrBadSeed) {
 		t.Errorf("-seed without -faults: %v", err)
 	}
+	if err := parse("-fleet", "600"); !errors.Is(err, ErrBadFleetNodes) {
+		t.Errorf("-fleet 600: %v", err)
+	}
+	if err := parse("-scheduler", "clairvoyant"); !errors.Is(err, ErrBadFleetScheduler) {
+		t.Errorf("-scheduler clairvoyant: %v", err)
+	}
+	if err := parse("-faults", "degraded", "-fleet", "8"); !errors.Is(err, ErrBadFleetExperiment) {
+		t.Errorf("-faults with -fleet: %v", err)
+	}
 	if err := parse("-quick"); err != nil {
 		t.Errorf("plain -quick rejected: %v", err)
+	}
+}
+
+// The fleet flags land on the environment through the same JobSpec
+// path as the wire API's fleet block.
+func TestJobFlagsFleet(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	jf := AddJobFlags(fs)
+	if err := fs.Parse([]string{"-fleet", "8", "-scheduler", "round-robin", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	env, _, err := jf.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.FleetNodes != 8 || env.FleetScheduler != "round-robin" || env.FleetSeed != 3 {
+		t.Errorf("fleet flags not applied: %+v", env)
+	}
+	spec := jf.Spec("ext-fleet-recovery")
+	if spec.Fleet == nil || spec.Fleet.Nodes != 8 || spec.Fleet.Scheduler != "round-robin" {
+		t.Errorf("Spec() fleet block = %+v", spec.Fleet)
+	}
+	if err := spec.Validate(Paper()); err != nil {
+		t.Errorf("flag-built fleet spec invalid: %v", err)
 	}
 }
 

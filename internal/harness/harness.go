@@ -11,6 +11,7 @@ import (
 	"maia/internal/machine"
 	"maia/internal/simfault"
 	"maia/internal/simtrace"
+	"maia/internal/vclock"
 )
 
 // Kind groups experiments into presentation tiers; lower kinds print
@@ -85,6 +86,24 @@ type Env struct {
 	// experiments sweep (the maiabench -nodes flag). Zero sweeps the
 	// full 2..128-node system.
 	RackNodes int
+	// FleetNodes, when nonzero, caps the fleet sizes the ext-fleet
+	// experiments simulate (the maiabench -fleet flag, the JobSpec
+	// fleet.nodes field). Zero keeps the default fleet shapes.
+	FleetNodes int
+	// FleetScheduler, when non-empty, selects the fleet placement
+	// policy (see simfleet.Policies; "" = the default policy).
+	FleetScheduler string
+	// FleetMTBF, when non-empty, pins the ext-fleet experiments to one
+	// MTBF profile instead of sweeping the catalog.
+	FleetMTBF string
+	// FleetDuration, when nonzero, overrides the simulated horizon of
+	// every fleet run.
+	FleetDuration vclock.Time
+	// FleetHealth, when nonzero, overrides the fleet health-check period.
+	FleetHealth vclock.Time
+	// FleetSeed, when nonzero, re-roots every fleet random decision
+	// (condition draws, arrivals, failures); zero keeps the default.
+	FleetSeed uint64
 }
 
 // Option configures the Env built by DefaultEnv.
@@ -115,6 +134,41 @@ func WithFaults(p *simfault.Plan) Option {
 // the full 128-node sweep).
 func WithRackNodes(n int) Option {
 	return func(env *Env) { env.RackNodes = n }
+}
+
+// WithFleetNodes caps the ext-fleet fleet sizes (0 keeps the defaults).
+func WithFleetNodes(n int) Option {
+	return func(env *Env) { env.FleetNodes = n }
+}
+
+// WithFleetScheduler selects the fleet placement policy ("" keeps the
+// default).
+func WithFleetScheduler(policy string) Option {
+	return func(env *Env) { env.FleetScheduler = policy }
+}
+
+// WithFleetMTBF pins the fleet experiments to one MTBF profile ("" keeps
+// the full catalog sweep).
+func WithFleetMTBF(profile string) Option {
+	return func(env *Env) { env.FleetMTBF = profile }
+}
+
+// WithFleetDuration overrides the simulated fleet horizon (0 keeps the
+// per-experiment defaults).
+func WithFleetDuration(d vclock.Time) Option {
+	return func(env *Env) { env.FleetDuration = d }
+}
+
+// WithFleetHealth overrides the fleet health-check period (0 keeps the
+// default).
+func WithFleetHealth(d vclock.Time) Option {
+	return func(env *Env) { env.FleetHealth = d }
+}
+
+// WithFleetSeed re-roots the fleet's random decisions (0 keeps the
+// default seed).
+func WithFleetSeed(seed uint64) Option {
+	return func(env *Env) { env.FleetSeed = seed }
 }
 
 // DefaultEnv returns the calibrated environment, adjusted by opts.

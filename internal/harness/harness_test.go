@@ -34,7 +34,8 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	want = append(want, "report", "ext-offload-pipeline", "ext-checkpoint", "ext-profile", "ext-stride", "ext-tasks",
 		"ext-rack-npb", "ext-rack-overflow",
-		"ext-fault-fabric", "ext-fault-straggler", "ext-fault-failover")
+		"ext-fault-fabric", "ext-fault-straggler", "ext-fault-failover",
+		"ext-fleet-mtbf", "ext-fleet-recovery")
 	for _, id := range want {
 		if _, ok := reg.ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)

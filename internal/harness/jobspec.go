@@ -13,6 +13,8 @@ import (
 
 	"maia/internal/core"
 	"maia/internal/simfault"
+	"maia/internal/simfleet"
+	"maia/internal/vclock"
 )
 
 // JobSpec is the single typed description of "run experiment X under
@@ -39,17 +41,45 @@ type JobSpec struct {
 	// FaultPlan names a simfault catalog plan ("" = healthy machine).
 	FaultPlan string `json:"fault_plan,omitempty"`
 	// Seed, when nonzero, replaces the fault plan's catalog seed so one
-	// named failure mode can be re-rolled into many distinct machines.
-	// Without a fault plan it is rejected by Validate: a seed that
-	// changes nothing must not mint a distinct cache key.
+	// named failure mode can be re-rolled into many distinct machines,
+	// or (with a fleet block) re-roots every fleet random decision.
+	// Without a fault plan or a fleet it is rejected by Validate: a seed
+	// that changes nothing must not mint a distinct cache key.
 	Seed uint64 `json:"seed,omitempty"`
 	// Model overrides individual cost-model knobs by name (see
 	// ModelKeys). Boolean knobs encode as 0 or 1.
 	Model map[string]float64 `json:"model,omitempty"`
+	// Fleet, when non-nil, shapes the ext-fleet experiments (schema v2;
+	// valid only on experiments in the "fleet" section, and never
+	// alongside a fault plan — fleet runs draw their degradations from
+	// the simfault catalog internally).
+	Fleet *FleetSpec `json:"fleet,omitempty"`
+}
+
+// FleetSpec is the v2 fleet block: every field zero means "the
+// experiment's default shape", and an all-default block is normalized
+// away entirely, so v1 specs are untouched by the schema bump.
+type FleetSpec struct {
+	// Nodes caps the simulated fleet sizes (0 = default shapes; at most
+	// simfleet.MaxNodes).
+	Nodes int `json:"nodes,omitempty"`
+	// DurationS overrides the simulated horizon, in virtual seconds
+	// (0 = per-experiment defaults; at most 24h).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// MTBF pins the MTBF profile ("" = sweep the catalog).
+	MTBF string `json:"mtbf,omitempty"`
+	// Scheduler selects the placement policy ("" = the default).
+	Scheduler string `json:"scheduler,omitempty"`
+	// HealthS overrides the health-check period, in virtual seconds
+	// (0 = the default; at most one hour).
+	HealthS float64 `json:"health_s,omitempty"`
 }
 
 // JobSpecSchemaVersion is the current JobSpec wire-format version.
-const JobSpecSchemaVersion = 1
+// Version 2 adds the fleet block; a spec without one still
+// canonicalizes (and therefore hashes) at version 1, so the bump
+// re-keys nothing that existed before.
+const JobSpecSchemaVersion = 2
 
 // The model-override keys a JobSpec may set, each addressing one scalar
 // knob of core.Model. Together they span the whole Model, so any Model
@@ -92,16 +122,61 @@ var (
 	ErrBadModelOverride = errors.New("invalid model override")
 	// ErrBadSchemaVersion marks a spec from an unsupported wire version.
 	ErrBadSchemaVersion = errors.New("unsupported schema version")
-	// ErrBadSeed marks a seed on a spec with no fault plan to drive.
-	ErrBadSeed = errors.New("seed without fault plan")
+	// ErrBadSeed marks a seed on a spec with no fault plan or fleet to drive.
+	ErrBadSeed = errors.New("seed without fault plan or fleet")
+	// ErrBadFleetNodes marks a fleet size outside 1..simfleet.MaxNodes.
+	ErrBadFleetNodes = errors.New("invalid fleet node count")
+	// ErrBadFleetDuration marks a fleet horizon outside (0, 24h] seconds.
+	ErrBadFleetDuration = errors.New("invalid fleet duration")
+	// ErrBadFleetScheduler marks a scheduler policy absent from the catalog.
+	ErrBadFleetScheduler = errors.New("unknown fleet scheduler")
+	// ErrBadFleetMTBF marks an MTBF profile absent from the catalog.
+	ErrBadFleetMTBF = errors.New("unknown fleet MTBF profile")
+	// ErrBadFleetHealth marks a health-check period outside (0, 1h] seconds.
+	ErrBadFleetHealth = errors.New("invalid fleet health-check period")
+	// ErrBadFleetExperiment marks a fleet block on an experiment outside
+	// the fleet section, or combined with a fault plan (fleet runs price
+	// degradations internally; an env-level plan would mint distinct
+	// cache keys for identical output).
+	ErrBadFleetExperiment = errors.New("fleet block not applicable")
 )
+
+// check validates the fleet block's fields against the simfleet
+// catalogs and bounds.
+func (f *FleetSpec) check() error {
+	if f.Nodes < 0 || f.Nodes > simfleet.MaxNodes {
+		return fmt.Errorf("%w: %d (want 1..%d, or 0 for the defaults)",
+			ErrBadFleetNodes, f.Nodes, simfleet.MaxNodes)
+	}
+	if math.IsNaN(f.DurationS) || f.DurationS < 0 || f.DurationS > simfleet.MaxDuration.Seconds() {
+		return fmt.Errorf("%w: %v s (want (0, %v], or 0 for the defaults)",
+			ErrBadFleetDuration, f.DurationS, simfleet.MaxDuration.Seconds())
+	}
+	if f.Scheduler != "" {
+		if _, err := simfleet.PolicyByName(f.Scheduler); err != nil {
+			return fmt.Errorf("%w: %q (have %s)",
+				ErrBadFleetScheduler, f.Scheduler, strings.Join(simfleet.PolicyNames(), ", "))
+		}
+	}
+	if f.MTBF != "" {
+		if _, err := simfleet.ProfileByName(f.MTBF); err != nil {
+			return fmt.Errorf("%w: %q (have %s)",
+				ErrBadFleetMTBF, f.MTBF, strings.Join(simfleet.ProfileNames(), ", "))
+		}
+	}
+	if math.IsNaN(f.HealthS) || f.HealthS < 0 || f.HealthS > simfleet.MaxHealthEvery.Seconds() {
+		return fmt.Errorf("%w: %v s (want (0, %v], or 0 for the default)",
+			ErrBadFleetHealth, f.HealthS, simfleet.MaxHealthEvery.Seconds())
+	}
+	return nil
+}
 
 // Validate checks the spec against the registry and the catalogs and
 // returns the first violation, wrapped around one of the typed errors
 // above. A nil error means Env() will succeed and the experiment exists.
 func (s JobSpec) Validate(reg *Registry) error {
-	if s.SchemaVersion != 0 && s.SchemaVersion != JobSpecSchemaVersion {
-		return fmt.Errorf("%w: %d (this build speaks %d)",
+	if s.SchemaVersion < 0 || s.SchemaVersion > JobSpecSchemaVersion {
+		return fmt.Errorf("%w: %d (this build speaks up to %d)",
 			ErrBadSchemaVersion, s.SchemaVersion, JobSpecSchemaVersion)
 	}
 	if s.Experiment == "" {
@@ -115,12 +190,27 @@ func (s JobSpec) Validate(reg *Registry) error {
 	if s.Nodes != 0 && (s.Nodes < 2 || s.Nodes > 128 || s.Nodes&(s.Nodes-1) != 0) {
 		return fmt.Errorf("%w: %d (want a power of two in 2..128, or 0)", ErrBadNodes, s.Nodes)
 	}
+	if s.Fleet != nil {
+		if s.FaultPlan != "" {
+			return fmt.Errorf("%w: a fleet block cannot carry fault plan %q",
+				ErrBadFleetExperiment, s.FaultPlan)
+		}
+		if reg != nil {
+			if exp, ok := reg.ByID(s.Experiment); ok && exp.Section != "fleet" {
+				return fmt.Errorf("%w: experiment %q is in section %q, not fleet",
+					ErrBadFleetExperiment, s.Experiment, exp.Section)
+			}
+		}
+		if err := s.Fleet.check(); err != nil {
+			return err
+		}
+	}
 	if s.FaultPlan != "" {
 		if _, err := simfault.ByName(s.FaultPlan); err != nil {
 			return fmt.Errorf("%w: %q (have %s)",
 				ErrUnknownFaultPlan, s.FaultPlan, strings.Join(simfault.Names(), ", "))
 		}
-	} else if s.Seed != 0 {
+	} else if s.Seed != 0 && s.Fleet == nil {
 		return fmt.Errorf("%w: seed %d would re-roll nothing", ErrBadSeed, s.Seed)
 	}
 	for key, v := range s.Model {
@@ -153,15 +243,40 @@ func checkModelOverride(key string, v float64) error {
 }
 
 // Normalize returns the spec in canonical semantic form: the schema
-// version filled in, a seed equal to the fault plan's catalog default
-// cleared, and model overrides equal to the default model dropped.
-// Normalizing never changes what Env() builds; it only collapses
-// distinct spellings of the same job onto one content address.
+// version filled in (1 without a fleet block, 2 with one — so v1 jobs
+// keep their pre-fleet content addresses), a seed equal to the fault
+// plan's catalog default (or the fleet's default) cleared, default-
+// valued fleet fields dropped (an emptied block vanishes), and model
+// overrides equal to the default model dropped. Normalizing never
+// changes what Env() builds; it only collapses distinct spellings of
+// the same job onto one content address.
 func (s JobSpec) Normalize() JobSpec {
 	n := s
-	n.SchemaVersion = JobSpecSchemaVersion
+	if n.Fleet != nil {
+		f := *n.Fleet
+		if f.Scheduler == simfleet.DefaultScheduler {
+			f.Scheduler = ""
+		}
+		if f.HealthS == simfleet.DefaultHealthEvery.Seconds() {
+			f.HealthS = 0
+		}
+		if n.FaultPlan == "" && n.Seed == simfleet.DefaultSeed {
+			n.Seed = 0
+		}
+		if f == (FleetSpec{}) && n.Seed == 0 {
+			n.Fleet = nil
+		} else {
+			n.Fleet = &f
+		}
+	}
+	n.SchemaVersion = 1
+	if n.Fleet != nil {
+		n.SchemaVersion = JobSpecSchemaVersion
+	}
 	if n.FaultPlan == "" {
-		n.Seed = 0
+		if n.Fleet == nil {
+			n.Seed = 0
+		}
 	} else if plan, err := simfault.ByName(n.FaultPlan); err == nil && n.Seed == plan.Seed {
 		n.Seed = 0
 	}
@@ -190,11 +305,40 @@ func (s JobSpec) MarshalCanonical() []byte {
 	n := s.Normalize()
 	var b strings.Builder
 	b.WriteByte('{')
-	// Fields appear in sorted key order: experiment, fault_plan, model,
-	// nodes, quick, schema_version, seed.
+	// Fields appear in sorted key order: experiment, fault_plan, fleet,
+	// model, nodes, quick, schema_version, seed.
 	fmt.Fprintf(&b, "%q:%q", "experiment", n.Experiment)
 	if n.FaultPlan != "" {
 		fmt.Fprintf(&b, ",%q:%q", "fault_plan", n.FaultPlan)
+	}
+	if n.Fleet != nil {
+		b.WriteString(`,"fleet":{`)
+		// Fleet keys in sorted order: duration_s, health_s, mtbf,
+		// nodes, scheduler.
+		comma := false
+		field := func(format string, args ...any) {
+			if comma {
+				b.WriteByte(',')
+			}
+			comma = true
+			fmt.Fprintf(&b, format, args...)
+		}
+		if n.Fleet.DurationS != 0 {
+			field("%q:%s", "duration_s", canonicalFloat(n.Fleet.DurationS))
+		}
+		if n.Fleet.HealthS != 0 {
+			field("%q:%s", "health_s", canonicalFloat(n.Fleet.HealthS))
+		}
+		if n.Fleet.MTBF != "" {
+			field("%q:%q", "mtbf", n.Fleet.MTBF)
+		}
+		if n.Fleet.Nodes != 0 {
+			field("%q:%d", "nodes", n.Fleet.Nodes)
+		}
+		if n.Fleet.Scheduler != "" {
+			field("%q:%q", "scheduler", n.Fleet.Scheduler)
+		}
+		b.WriteByte('}')
 	}
 	if len(n.Model) > 0 {
 		b.WriteString(`,"model":{`)
@@ -253,6 +397,22 @@ func (s JobSpec) Env() (Env, error) {
 		return Env{}, fmt.Errorf("%w: %d (want a power of two in 2..128, or 0)", ErrBadNodes, s.Nodes)
 	}
 	opts := []Option{WithQuick(s.Quick), WithRackNodes(s.Nodes)}
+	if s.Fleet != nil {
+		if s.FaultPlan != "" {
+			return Env{}, fmt.Errorf("%w: a fleet block cannot carry fault plan %q",
+				ErrBadFleetExperiment, s.FaultPlan)
+		}
+		if err := s.Fleet.check(); err != nil {
+			return Env{}, err
+		}
+		opts = append(opts,
+			WithFleetNodes(s.Fleet.Nodes),
+			WithFleetScheduler(s.Fleet.Scheduler),
+			WithFleetMTBF(s.Fleet.MTBF),
+			WithFleetDuration(vclock.Time(s.Fleet.DurationS)*vclock.Second),
+			WithFleetHealth(vclock.Time(s.Fleet.HealthS)*vclock.Second),
+			WithFleetSeed(s.Seed))
+	}
 	if s.FaultPlan != "" {
 		plan, err := simfault.ByName(s.FaultPlan)
 		if err != nil {
@@ -264,7 +424,7 @@ func (s JobSpec) Env() (Env, error) {
 			plan = &reseeded
 		}
 		opts = append(opts, WithFaults(plan))
-	} else if s.Seed != 0 {
+	} else if s.Seed != 0 && s.Fleet == nil {
 		return Env{}, fmt.Errorf("%w: seed %d would re-roll nothing", ErrBadSeed, s.Seed)
 	}
 	model := core.DefaultModel()
@@ -323,7 +483,21 @@ func EnvToSpec(experiment string, env Env) (JobSpec, error) {
 		Quick:         env.Quick,
 		Nodes:         env.RackNodes,
 	}
-	if env.Faults.Enabled() {
+	if env.FleetNodes != 0 || env.FleetScheduler != "" || env.FleetMTBF != "" ||
+		env.FleetDuration != 0 || env.FleetHealth != 0 || env.FleetSeed != 0 {
+		if env.Faults.Enabled() {
+			return JobSpec{}, fmt.Errorf("%w: a fleet environment cannot carry fault plan %q",
+				ErrBadFleetExperiment, env.Faults.Name)
+		}
+		spec.Fleet = &FleetSpec{
+			Nodes:     env.FleetNodes,
+			DurationS: env.FleetDuration.Seconds(),
+			MTBF:      env.FleetMTBF,
+			Scheduler: env.FleetScheduler,
+			HealthS:   env.FleetHealth.Seconds(),
+		}
+		spec.Seed = env.FleetSeed
+	} else if env.Faults.Enabled() {
 		plan, err := simfault.ByName(env.Faults.Name)
 		if err != nil {
 			return JobSpec{}, fmt.Errorf("%w: plan %q is not in the catalog",

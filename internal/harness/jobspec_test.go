@@ -9,6 +9,7 @@ import (
 
 	"maia/internal/core"
 	"maia/internal/simfault"
+	"maia/internal/simfleet"
 )
 
 // The canonical encoding is pinned byte-for-byte: any drift here would
@@ -39,6 +40,24 @@ func TestJobSpecCanonicalBytes(t *testing.T) {
 			JobSpec{Experiment: "fig5", FaultPlan: "degraded", Seed: 5,
 				Model: map[string]float64{ModelCacheCapture: 1}},
 			`{"experiment":"fig5","fault_plan":"degraded","schema_version":1}`,
+		},
+		{
+			// A fleet block promotes the spec to schema version 2, with
+			// the sub-keys in sorted order.
+			JobSpec{Experiment: "ext-fleet-recovery", Quick: true, Seed: 7,
+				Fleet: &FleetSpec{Nodes: 64, Scheduler: "round-robin",
+					MTBF: "steady", DurationS: 600.5, HealthS: 30}},
+			`{"experiment":"ext-fleet-recovery",` +
+				`"fleet":{"duration_s":600.5,"health_s":30,"mtbf":"steady","nodes":64,"scheduler":"round-robin"},` +
+				`"quick":true,"schema_version":2,"seed":7}`,
+		},
+		{
+			// An all-default fleet block (the default scheduler, the
+			// default health period, the default seed) collapses away
+			// entirely, landing back on the v1 encoding.
+			JobSpec{Experiment: "ext-fleet-recovery", Seed: 1,
+				Fleet: &FleetSpec{Scheduler: "least-loaded", HealthS: 15}},
+			`{"experiment":"ext-fleet-recovery","schema_version":1}`,
 		},
 	}
 	for _, c := range cases {
@@ -93,7 +112,27 @@ func TestJobSpecValidate(t *testing.T) {
 			Model: map[string]float64{ModelStreamBankLimit: 0}}, nil},
 		{"unknown experiment", JobSpec{Experiment: "fig99"}, ErrUnknownExperiment},
 		{"empty experiment", JobSpec{}, ErrUnknownExperiment},
-		{"bad schema", JobSpec{SchemaVersion: 2, Experiment: "fig5"}, ErrBadSchemaVersion},
+		{"v2 schema ok", JobSpec{SchemaVersion: 2, Experiment: "fig5"}, nil},
+		{"bad schema", JobSpec{SchemaVersion: 3, Experiment: "fig5"}, ErrBadSchemaVersion},
+		{"fleet ok", JobSpec{Experiment: "ext-fleet-mtbf", Seed: 9,
+			Fleet: &FleetSpec{Nodes: 32, Scheduler: "round-robin", MTBF: "steady",
+				DurationS: 600, HealthS: 30}}, nil},
+		{"fleet on non-fleet experiment", JobSpec{Experiment: "fig5",
+			Fleet: &FleetSpec{Nodes: 8}}, ErrBadFleetExperiment},
+		{"fleet with fault plan", JobSpec{Experiment: "ext-fleet-mtbf", FaultPlan: "degraded",
+			Fleet: &FleetSpec{Nodes: 8}}, ErrBadFleetExperiment},
+		{"fleet too large", JobSpec{Experiment: "ext-fleet-mtbf",
+			Fleet: &FleetSpec{Nodes: 513}}, ErrBadFleetNodes},
+		{"fleet negative nodes", JobSpec{Experiment: "ext-fleet-mtbf",
+			Fleet: &FleetSpec{Nodes: -1}}, ErrBadFleetNodes},
+		{"fleet bad duration", JobSpec{Experiment: "ext-fleet-mtbf",
+			Fleet: &FleetSpec{DurationS: 86401}}, ErrBadFleetDuration},
+		{"fleet bad scheduler", JobSpec{Experiment: "ext-fleet-mtbf",
+			Fleet: &FleetSpec{Scheduler: "clairvoyant"}}, ErrBadFleetScheduler},
+		{"fleet bad mtbf", JobSpec{Experiment: "ext-fleet-mtbf",
+			Fleet: &FleetSpec{MTBF: "immortal"}}, ErrBadFleetMTBF},
+		{"fleet bad health", JobSpec{Experiment: "ext-fleet-mtbf",
+			Fleet: &FleetSpec{HealthS: -5}}, ErrBadFleetHealth},
 		{"non-pow2 nodes", JobSpec{Experiment: "fig5", Nodes: 3}, ErrBadNodes},
 		{"nodes too large", JobSpec{Experiment: "fig5", Nodes: 256}, ErrBadNodes},
 		{"one node", JobSpec{Experiment: "fig5", Nodes: 1}, ErrBadNodes},
@@ -174,9 +213,37 @@ func TestEnvToSpecRejectsUnrepresentable(t *testing.T) {
 	}
 }
 
+// randomFleetSpec draws a valid v2 fleet spec over the scheduler and
+// MTBF catalogs, the seed space, and the fleet-size/horizon bounds.
+func randomFleetSpec(rng *rand.Rand) JobSpec {
+	exps := []string{"ext-fleet-mtbf", "ext-fleet-recovery"}
+	fleet := &FleetSpec{Nodes: 1 << rng.Intn(7)}
+	if rng.Intn(2) == 0 {
+		fleet.Scheduler = simfleet.PolicyNames()[rng.Intn(len(simfleet.PolicyNames()))]
+	}
+	if rng.Intn(2) == 0 {
+		fleet.MTBF = simfleet.ProfileNames()[rng.Intn(len(simfleet.ProfileNames()))]
+	}
+	if rng.Intn(2) == 0 {
+		fleet.DurationS = float64(60 + rng.Intn(240))
+	}
+	if rng.Intn(2) == 0 {
+		fleet.HealthS = float64(10 + rng.Intn(50))
+	}
+	return JobSpec{
+		Experiment: exps[rng.Intn(len(exps))],
+		Quick:      true,
+		Seed:       uint64(rng.Intn(4)), // 0 and 1 both mean the default
+		Fleet:      fleet,
+	}
+}
+
 // randomSpec draws a valid spec over the cheap experiments, the fault
-// catalog, and the model-override domain.
+// catalog, the fleet domain, and the model-override domain.
 func randomSpec(rng *rand.Rand) JobSpec {
+	if rng.Intn(3) == 0 {
+		return randomFleetSpec(rng)
+	}
 	exps := []string{"fig7", "fig13", "fig15", "fig17", "table1"}
 	spec := JobSpec{Experiment: exps[rng.Intn(len(exps))], Quick: true}
 	if rng.Intn(2) == 0 {

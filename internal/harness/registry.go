@@ -114,5 +114,6 @@ func Paper() *Registry {
 	r.mustRegister(extensionExperiments()...)
 	r.mustRegister(rackExperiments()...)
 	r.mustRegister(faultExperiments()...)
+	r.mustRegister(fleetExperiments()...)
 	return r
 }

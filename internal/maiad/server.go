@@ -13,10 +13,17 @@
 //
 //	POST /v1/jobs         run (or fetch) one JobSpec; ?trace=summary|chrome attaches simtrace output
 //	POST /v1/sweeps       run a batch of JobSpecs through the parallel engine
+//	POST /v1/fleet        run (or fetch) one fleet-section JobSpec (schema v2 fleet block)
 //	GET  /v1/jobs/{key}   fetch a result by content address (404 on cold keys)
+//	GET  /v1/fleet/{key}  fetch a fleet result by content address
 //	GET  /v1/experiments  list the registry with each experiment's default job key
 //	GET  /metrics         Prometheus text (or ?format=json snapshot)
 //	GET  /healthz         liveness, uptime, jobs in flight
+//
+// Fleet jobs (experiments in the registry's "fleet" section, with or
+// without a v2 fleet block) route exclusively through /v1/fleet; they
+// share the same content-addressed cache, coalescer, and worker pool as
+// plain jobs but report their latency under their own endpoint labels.
 package maiad
 
 import (
@@ -115,7 +122,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.timed("jobs", s.handleJob))
 	mux.HandleFunc("POST /v1/sweeps", s.timed("sweeps", s.handleSweep))
+	mux.HandleFunc("POST /v1/fleet", s.timed("fleet", s.handleFleet))
 	mux.HandleFunc("GET /v1/jobs/{key}", s.timed("lookup", s.handleLookup))
+	mux.HandleFunc("GET /v1/fleet/{key}", s.timed("fleet_lookup", s.handleLookup))
 	mux.HandleFunc("GET /v1/experiments", s.timed("experiments", s.handleExperiments))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -165,6 +174,9 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// errFleetEndpoint rejects fleet jobs posted to the plain-job endpoints.
+var errFleetEndpoint = errors.New("fleet jobs are served by POST /v1/fleet")
+
 // errorCode maps a typed validation error to its wire code.
 func errorCode(err error) (string, int) {
 	switch {
@@ -180,6 +192,20 @@ func errorCode(err error) (string, int) {
 		return "unsupported_schema_version", http.StatusBadRequest
 	case errors.Is(err, harness.ErrBadSeed):
 		return "invalid_seed", http.StatusBadRequest
+	case errors.Is(err, harness.ErrBadFleetNodes):
+		return "invalid_fleet_nodes", http.StatusBadRequest
+	case errors.Is(err, harness.ErrBadFleetDuration):
+		return "invalid_fleet_duration", http.StatusBadRequest
+	case errors.Is(err, harness.ErrBadFleetScheduler):
+		return "unknown_fleet_scheduler", http.StatusBadRequest
+	case errors.Is(err, harness.ErrBadFleetMTBF):
+		return "unknown_fleet_mtbf", http.StatusBadRequest
+	case errors.Is(err, harness.ErrBadFleetHealth):
+		return "invalid_fleet_health", http.StatusBadRequest
+	case errors.Is(err, harness.ErrBadFleetExperiment):
+		return "fleet_not_applicable", http.StatusBadRequest
+	case errors.Is(err, errFleetEndpoint):
+		return "fleet_endpoint", http.StatusBadRequest
 	}
 	return "bad_request", http.StatusBadRequest
 }
@@ -217,13 +243,57 @@ func (s *Server) decodeSpec(r io.Reader) (harness.JobSpec, error) {
 	return spec.Normalize(), nil
 }
 
+// isFleetSpec reports whether a validated spec is a fleet job: it
+// carries a v2 fleet block, or its experiment lives in the registry's
+// "fleet" section (fleet-section jobs are fleet jobs even with every
+// knob at its default).
+func (s *Server) isFleetSpec(spec harness.JobSpec) bool {
+	if spec.Fleet != nil {
+		return true
+	}
+	e, ok := s.reg.ByID(spec.Experiment)
+	return ok && e.Section == "fleet"
+}
+
 // handleJob serves POST /v1/jobs: cache, then coalesced execution.
+// Fleet jobs are redirected to their own endpoint so fleet latency
+// never pollutes the plain-job histograms.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	spec, err := s.decodeSpec(r.Body)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	if s.isFleetSpec(spec) {
+		s.fail(w, fmt.Errorf("%w: %q is a fleet job", errFleetEndpoint, spec.Experiment))
+		return
+	}
+	s.answer(w, r, spec)
+}
+
+// handleFleet serves POST /v1/fleet: the fleet-scenario mirror of
+// /v1/jobs. It accepts only fleet jobs (see isFleetSpec) and shares the
+// content-addressed cache, the coalescer, and the worker pool with the
+// plain-job path, so an identical fleet spec is computed exactly once
+// no matter which clients race it.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.decodeSpec(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if !s.isFleetSpec(spec) {
+		s.fail(w, fmt.Errorf("%w: %q is not a fleet experiment; POST it to /v1/jobs",
+			harness.ErrBadFleetExperiment, spec.Experiment))
+		return
+	}
+	s.answer(w, r, spec)
+}
+
+// answer serves one validated, normalized spec: per-job trace bypass,
+// then cache, then coalesced execution — the shared tail of /v1/jobs
+// and /v1/fleet.
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, spec harness.JobSpec) {
 	key := spec.Hash()
 
 	if trace := r.URL.Query().Get("trace"); trace != "" {
@@ -375,6 +445,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		specs[i] = spec.Normalize()
+		if s.isFleetSpec(specs[i]) {
+			s.fail(w, fmt.Errorf("specs[%d]: %w: %q is a fleet job", i, errFleetEndpoint, specs[i].Experiment))
+			return
+		}
 	}
 
 	resp := SweepResponse{

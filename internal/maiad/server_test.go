@@ -405,3 +405,175 @@ func TestMetricsAndHealthz(t *testing.T) {
 		t.Errorf("healthz: %+v", h)
 	}
 }
+
+// A default fleet job hits the golden-seeded cache through POST
+// /v1/fleet without any engine run, byte-identical to the snapshot.
+func TestFleetGoldenSeededHit(t *testing.T) {
+	s, ts := newTestServer(t)
+	var jr JobResponse
+	if code := postJob(t, ts.URL+"/v1/fleet", `{"experiment":"ext-fleet-recovery"}`, &jr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if jr.Cache != CacheHit || !jr.Seeded {
+		t.Fatalf("cache=%q seeded=%v, want seeded hit", jr.Cache, jr.Seeded)
+	}
+	want, err := fs.ReadFile(harness.EmbeddedGolden(), harness.GoldenName("ext-fleet-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Output != string(want) {
+		t.Error("served fleet output differs from golden snapshot")
+	}
+	if got := s.Metrics().EngineRuns.Load(); got != 0 {
+		t.Errorf("engine ran %d times on a seeded fleet hit", got)
+	}
+}
+
+// A cold fleet job (v2 fleet block) misses once, the hot repeat is a
+// byte-identical cache hit, and the key resolves on GET /v1/fleet/{key}.
+func TestFleetColdThenHot(t *testing.T) {
+	s, ts := newTestServer(t)
+	const body = `{"experiment":"ext-fleet-recovery","quick":true,"fleet":{"nodes":8,"scheduler":"round-robin"},"seed":3}`
+
+	var cold JobResponse
+	if code := postJob(t, ts.URL+"/v1/fleet", body, &cold); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if cold.Cache != CacheMiss {
+		t.Fatalf("first fleet request: cache=%q, want miss", cold.Cache)
+	}
+	if cold.Spec.SchemaVersion != 2 || cold.Spec.Fleet == nil {
+		t.Fatalf("normalized fleet spec echo: %+v", cold.Spec)
+	}
+
+	var hot JobResponse
+	postJob(t, ts.URL+"/v1/fleet", body, &hot)
+	if hot.Cache != CacheHit || hot.Output != cold.Output {
+		t.Fatalf("second fleet request: cache=%q byte-identical=%v", hot.Cache, hot.Output == cold.Output)
+	}
+	if got := s.Metrics().EngineRuns.Load(); got != 1 {
+		t.Errorf("engine ran %d times for one distinct fleet job", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/fleet/" + cold.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var byKey JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&byKey); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || byKey.Output != cold.Output {
+		t.Errorf("fleet lookup by key: status=%d byte-identical=%v", resp.StatusCode, byKey.Output == cold.Output)
+	}
+}
+
+// N concurrent identical fleet posts execute the engine exactly once —
+// the coalescer and cache serve everyone else byte-identically.
+func TestFleetConcurrentPostsCoalesce(t *testing.T) {
+	s, ts := newTestServer(t)
+	const body = `{"experiment":"ext-fleet-mtbf","quick":true,"fleet":{"nodes":8},"seed":7}`
+
+	const n = 8
+	outputs := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var jr JobResponse
+			if code := postJob(t, ts.URL+"/v1/fleet", body, &jr); code != http.StatusOK {
+				t.Errorf("client %d: status %d", i, code)
+			}
+			outputs[i] = jr.Output
+		}(i)
+	}
+	wg.Wait()
+
+	if got := s.Metrics().EngineRuns.Load(); got != 1 {
+		t.Fatalf("engine ran %d times for %d identical concurrent fleet posts", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("client %d output differs from client 0", i)
+		}
+	}
+}
+
+// Fleet jobs route only through /v1/fleet: the plain-job and sweep
+// endpoints reject them, and /v1/fleet rejects non-fleet experiments.
+func TestFleetEndpointRouting(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, url, body, code string
+	}{
+		{"fleet block on /v1/jobs", "/v1/jobs",
+			`{"experiment":"ext-fleet-recovery","fleet":{"nodes":8}}`, "fleet_endpoint"},
+		{"fleet section on /v1/jobs", "/v1/jobs",
+			`{"experiment":"ext-fleet-mtbf"}`, "fleet_endpoint"},
+		{"fleet spec in sweep", "/v1/sweeps",
+			`{"specs":[{"experiment":"fig7","quick":true},{"experiment":"ext-fleet-recovery"}]}`, "fleet_endpoint"},
+		{"plain job on /v1/fleet", "/v1/fleet",
+			`{"experiment":"fig7","quick":true}`, "fleet_not_applicable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			code := postJob(t, ts.URL+tc.url, tc.body, &er)
+			if code != http.StatusBadRequest || er.Code != tc.code {
+				t.Errorf("got status=%d code=%q, want 400 %q (%s)", code, er.Code, tc.code, er.Error)
+			}
+		})
+	}
+}
+
+// Every fleet-block validation error maps to its wire code.
+func TestFleetErrorTaxonomy(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body, code string
+	}{
+		{"bad fleet nodes", `{"experiment":"ext-fleet-mtbf","fleet":{"nodes":513}}`, "invalid_fleet_nodes"},
+		{"bad fleet duration", `{"experiment":"ext-fleet-mtbf","fleet":{"duration_s":86401}}`, "invalid_fleet_duration"},
+		{"unknown scheduler", `{"experiment":"ext-fleet-mtbf","fleet":{"scheduler":"clairvoyant"}}`, "unknown_fleet_scheduler"},
+		{"unknown mtbf profile", `{"experiment":"ext-fleet-mtbf","fleet":{"mtbf":"immortal"}}`, "unknown_fleet_mtbf"},
+		{"bad health period", `{"experiment":"ext-fleet-mtbf","fleet":{"health_s":-1}}`, "invalid_fleet_health"},
+		{"fleet block off-section", `{"experiment":"fig7","fleet":{"nodes":8}}`, "fleet_not_applicable"},
+		{"fleet with fault plan", `{"experiment":"ext-fleet-mtbf","fault_plan":"degraded","fleet":{"nodes":8}}`, "fleet_not_applicable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			code := postJob(t, ts.URL+"/v1/fleet", tc.body, &er)
+			if code != http.StatusBadRequest || er.Code != tc.code {
+				t.Errorf("got status=%d code=%q, want 400 %q (%s)", code, er.Code, tc.code, er.Error)
+			}
+		})
+	}
+}
+
+// The fleet endpoints report latency under their own histogram labels.
+func TestFleetMetricsLabels(t *testing.T) {
+	_, ts := newTestServer(t)
+	var jr JobResponse
+	postJob(t, ts.URL+"/v1/fleet", `{"experiment":"ext-fleet-recovery"}`, &jr)
+	resp, err := http.Get(ts.URL + "/v1/fleet/" + jr.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(prom, []byte(`maiad_request_seconds_count{endpoint="fleet"} 1`)) {
+		t.Errorf("prom exposition missing fleet latency count:\n%s", prom)
+	}
+	if !bytes.Contains(prom, []byte(`maiad_request_seconds_count{endpoint="fleet_lookup"} 1`)) {
+		t.Errorf("prom exposition missing fleet_lookup latency count:\n%s", prom)
+	}
+}

@@ -1,0 +1,106 @@
+package simfault
+
+import (
+	"math"
+	"sort"
+
+	"maia/internal/vclock"
+)
+
+// Fleet-scale sampling: deterministic draws of per-node conditions and
+// of the virtual times of renewal processes (hard failures, repairs).
+// Everything here is a pure function of (seed, identity coordinates),
+// the same contract Plan.Attempts keeps for message drops — so a fleet
+// simulation makes byte-identical decisions no matter how its pricing
+// or experiment runs are parallelized.
+
+// The stream tags reserved by this file. Callers deriving their own
+// streams with EventSeed should stay clear of the 100..199 band in the
+// second coordinate.
+const (
+	streamCondition = 101 // SamplePlan's condition draw
+	streamPlanSeed  = 102 // SamplePlan's per-node plan re-seed
+)
+
+// conditionWeights is the fleet condition distribution SamplePlan draws
+// from, in per-mille: most nodes are healthy, the rest carry one of the
+// single-cause catalog plans (the combined "degraded" plan is a
+// worst-day scenario, not a steady-state population member).
+var conditionWeights = []struct {
+	name   string
+	weight int
+}{
+	{"", 600}, // healthy
+	{"phi-straggler", 120},
+	{"lossy-pcie", 100},
+	{"thermal-throttle", 100},
+	{"phi0-down", 80},
+}
+
+// SampleConditions returns the degraded condition names SamplePlan can
+// draw, sorted. "degraded" (the everything-at-once plan) is excluded by
+// design.
+func SampleConditions() []string {
+	var names []string
+	for _, c := range conditionWeights {
+		if c.name != "" {
+			names = append(names, c.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EventSeed derives an independent RNG seed from a base seed and three
+// event-identity coordinates — the exported form of the per-message
+// stream derivation Plan.Attempts uses. Two distinct coordinate triples
+// yield independent streams; equal triples yield equal streams.
+func EventSeed(seed uint64, a, b, c int) uint64 {
+	s := seed
+	s = mix64(s ^ uint64(a+1))
+	s = mix64(s ^ uint64(b+1)<<20)
+	s = mix64(s ^ uint64(c+1)<<40)
+	return s
+}
+
+// SamplePlan draws the condition node `node` carries in the fleet rooted
+// at seed: nil for a healthy node, otherwise a catalog plan re-seeded
+// per node (so two straggling nodes still make independent drop and
+// retry decisions). The draw is a pure function of (seed, node).
+func SamplePlan(seed uint64, node int) *Plan {
+	rng := vclock.NewRNG(EventSeed(seed, node, streamCondition, 0))
+	pick := rng.Intn(1000)
+	for _, c := range conditionWeights {
+		if pick < c.weight {
+			if c.name == "" {
+				return nil
+			}
+			plan, err := ByName(c.name)
+			if err != nil {
+				return nil // unreachable: the weight table names catalog plans
+			}
+			reseeded := *plan
+			reseeded.Seed = EventSeed(seed, node, streamPlanSeed, 0)
+			return &reseeded
+		}
+		pick -= c.weight
+	}
+	return nil
+}
+
+// Uniform returns a deterministic draw in [0, 1) for the event identity
+// (a, b, c) under seed.
+func Uniform(seed uint64, a, b, c int) float64 {
+	return vclock.NewRNG(EventSeed(seed, a, b, c)).Float64()
+}
+
+// Exp returns a deterministic exponential draw with the given mean for
+// the event identity (a, b, c) under seed — the building block of the
+// fleet's MTBF/MTTR renewal processes. A mean <= 0 returns 0.
+func Exp(mean vclock.Time, seed uint64, a, b, c int) vclock.Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := Uniform(seed, a, b, c)
+	return vclock.Time(-float64(mean) * math.Log1p(-u))
+}

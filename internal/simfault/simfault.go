@@ -357,11 +357,7 @@ func mix64(x uint64) uint64 {
 // eventSeed derives the RNG seed of one event from the plan seed and
 // three identity coordinates.
 func (p *Plan) eventSeed(a, b, c int) uint64 {
-	s := p.Seed
-	s = mix64(s ^ uint64(a+1))
-	s = mix64(s ^ uint64(b+1)<<20)
-	s = mix64(s ^ uint64(c+1)<<40)
-	return s
+	return EventSeed(p.Seed, a, b, c)
 }
 
 // Attempts returns how many delivery tries a message needs under fault

@@ -1,0 +1,67 @@
+package simfleet
+
+import (
+	"fmt"
+	"strings"
+
+	"maia/internal/vclock"
+)
+
+// Virtual-time unit helpers for fleet horizons (vclock stops at Second).
+const (
+	minute = 60 * vclock.Second
+	hour   = 3600 * vclock.Second
+)
+
+// MTBFProfile describes the hard-failure renewal process one fleet runs
+// under: nodes fail with exponentially distributed gaps of mean MTBF
+// and return to service after a repair of mean MTTR (jittered per
+// repair). The catalog spans the early-MIC lifecycle the LRZ operations
+// reports describe — burn-in machines fail constantly, mature fleets
+// almost never.
+type MTBFProfile struct {
+	// Name identifies the profile (the JobSpec fleet.mtbf value).
+	Name string
+	// Note is a one-line description for listings.
+	Note string
+	// MTBF is the mean time between hard failures per node; zero
+	// disables hard failures entirely.
+	MTBF vclock.Time
+	// MTTR is the mean time to repair a detected failure (also the
+	// replacement time the remediation loop charges for cordoned nodes).
+	MTTR vclock.Time
+}
+
+// Profiles returns the MTBF catalog ordered from no failures to the
+// highest failure rate — the sweep order of the ext-fleet-mtbf curves.
+func Profiles() []MTBFProfile {
+	return []MTBFProfile{
+		{Name: "none", Note: "no hard failures; isolates degraded-condition effects"},
+		{Name: "mature", Note: "settled production fleet", MTBF: 24 * hour, MTTR: 10 * minute},
+		{Name: "steady", Note: "typical early-MIC partition", MTBF: 8 * hour, MTTR: 15 * minute},
+		{Name: "erratic", Note: "flaky MPSS/DAPL era", MTBF: 2 * hour, MTTR: 20 * minute},
+		{Name: "burn-in", Note: "early-life failures dominate", MTBF: 30 * minute, MTTR: 20 * minute},
+	}
+}
+
+// ProfileNames returns the catalog's profile names in sweep order.
+func ProfileNames() []string {
+	profiles := Profiles()
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName returns the named MTBF profile, or an error listing the
+// valid names.
+func ProfileByName(name string) (MTBFProfile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return MTBFProfile{}, fmt.Errorf("simfleet: unknown MTBF profile %q (have %s)",
+		name, strings.Join(ProfileNames(), ", "))
+}

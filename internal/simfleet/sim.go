@@ -1,0 +1,535 @@
+package simfleet
+
+import (
+	"container/heap"
+	"sort"
+
+	"maia/internal/simfault"
+	"maia/internal/vclock"
+)
+
+// Stream tags for the fleet's deterministic draws: the second
+// coordinate of simfault.EventSeed (simfault reserves the 100..199
+// band for its own sampling streams).
+const (
+	sbArrival = 1 // interarrival gaps, keyed by arrival index
+	sbClass   = 2 // job class draws, keyed by job ID
+	sbFail    = 3 // hard-failure gaps, keyed by (node, draw index)
+	sbRepair  = 4 // repair-duration jitter, keyed by (node, draw index)
+	sbPlace   = 5 // random-policy placement, keyed by dispatch index
+)
+
+// defaultReplaceTime is the replacement cost charged for cordoned nodes
+// when the MTBF profile defines no MTTR (the "none" profile): swapping
+// a card is never free.
+const defaultReplaceTime = 10 * minute
+
+// Stats is what one fleet run reports: counters, rate/utilization
+// rollups, and queue-wait quantiles, all pure functions of the Config.
+type Stats struct {
+	// Nodes, Duration, Scheduler, Profile echo the resolved config.
+	Nodes     int
+	Duration  vclock.Time
+	Scheduler string
+	Profile   string
+	// DegradedStart counts nodes that started in a degraded condition.
+	DegradedStart int
+	// Arrivals and Completed count jobs offered and finished within the
+	// horizon; Requeues counts re-submissions after a detected failure;
+	// Lost counts jobs destroyed by failures with remediation off.
+	Arrivals  int
+	Completed int
+	Requeues  int
+	Lost      int
+	// HardFailures, Rebalanced, Replaced, Repaired count fleet events:
+	// failures struck, in-place rebalances, cordon-drain-replacements
+	// begun, and hard failures detected into repair. Tolerated counts
+	// degraded nodes the loop deliberately left in service because the
+	// price table says replacing them would cost capacity.
+	HardFailures int
+	Rebalanced   int
+	Replaced     int
+	Repaired     int
+	Tolerated    int
+	// Throughput is completed jobs per virtual hour.
+	Throughput float64
+	// Utilization is aggregate busy time over nodes x duration.
+	Utilization float64
+	// QueueP50 and QueueP99 are dispatch-wait quantiles.
+	QueueP50 vclock.Time
+	QueueP99 vclock.Time
+	// RecoveryPct is the overflow-class rebalance recovery (percent of
+	// the straggler-induced slowdown recovered) of the first rebalance
+	// this run performed; 0 when no rebalance happened.
+	RecoveryPct float64
+}
+
+// nodeState is a node's scheduling state.
+type nodeState int
+
+const (
+	stateReady    nodeState = iota // in service, schedulable
+	stateCordoned                  // in service, draining toward replacement
+	stateDown                      // failed, repairing, or being replaced
+)
+
+// job is one queued unit of work.
+type job struct {
+	id      int
+	class   Class
+	arrival vclock.Time
+}
+
+// fnode is one simulated node's mutable state.
+type fnode struct {
+	cond       string // condition name; "" = healthy
+	rebalanced bool
+	state      nodeState
+	// epoch increments whenever the node leaves service; events carry
+	// the epoch they were scheduled under, so stale completions and
+	// failure draws are dropped instead of firing on a replaced node.
+	epoch   int
+	failK   int // next failure-gap draw index
+	repairK int // next repair-jitter draw index
+	// failed marks a struck node awaiting health-check detection.
+	failed bool
+	// tolerated marks a degraded node the loop decided to keep serving.
+	tolerated bool
+	// pendingJob is the job a failure interrupted, requeued at detection.
+	pendingJob job
+	hasPending bool
+	// replacePending marks a draining node: replacement begins when the
+	// running job completes.
+	replacePending bool
+	running        bool
+	job            job
+	jobStart       vclock.Time
+	busy           vclock.Time
+}
+
+// eventKind discriminates the event heap's entries.
+type eventKind int
+
+const (
+	evArrival  eventKind = iota // next job enters the queue
+	evComplete                  // a node finishes its job
+	evHealth                    // periodic fleet-wide health check
+	evFail                      // a hard failure strikes a node
+	evRepair                    // a repair or replacement finishes
+)
+
+// event is one entry of the virtual-time priority queue.
+type event struct {
+	at    vclock.Time
+	seq   uint64
+	kind  eventKind
+	node  int
+	epoch int
+}
+
+// eventHeap orders events by (time, push sequence) — the sequence tie-
+// break makes the pop order a pure function of the push history.
+type eventHeap []event
+
+// Len implements heap.Interface.
+func (h eventHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface: earlier time first, then push order.
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+// Swap implements heap.Interface.
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+// Pop implements heap.Interface.
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// isRebalanceCondition reports whether the remediation loop fixes the
+// condition in place by rebalancing on measured speeds (compute-side
+// degradation); other conditions need cordon/drain/replace.
+func isRebalanceCondition(cond string) bool {
+	return cond == "phi-straggler" || cond == "thermal-throttle"
+}
+
+// sim is one run's full state.
+type sim struct {
+	cfg     Config
+	profile MTBFProfile
+	nodes   []fnode
+	events  eventHeap
+	seq     uint64
+	now     vclock.Time
+
+	queue       []job
+	waits       []vclock.Time
+	meanInter   vclock.Time
+	lastArrival vclock.Time
+	arrivalK    int
+	dispatchK   int
+	rrCursor    int
+
+	stats Stats
+}
+
+// Run simulates one fleet and returns its statistics. The result is a
+// pure function of cfg: equal configs (and equal price tables) yield
+// identical Stats regardless of how the table was built or how many
+// runs execute concurrently.
+func Run(cfg Config) (Stats, error) {
+	cfg, profile, err := cfg.withDefaults()
+	if err != nil {
+		return Stats{}, err
+	}
+	s := &sim{cfg: cfg, profile: profile, nodes: make([]fnode, cfg.Nodes)}
+	s.stats = Stats{
+		Nodes:     cfg.Nodes,
+		Duration:  cfg.Duration,
+		Scheduler: cfg.Scheduler,
+		Profile:   cfg.Profile,
+	}
+	for i := range s.nodes {
+		cond := s.startCondition(i)
+		s.nodes[i].cond = cond
+		if cond != "" {
+			s.stats.DegradedStart++
+		}
+	}
+	s.meanInter = cfg.Prices.MeanHealthy() / vclock.Time(float64(cfg.Nodes)*cfg.Load)
+	s.pushArrival()
+	if profile.MTBF > 0 {
+		for i := range s.nodes {
+			s.scheduleFailure(i)
+		}
+	}
+	if cfg.Remediate {
+		s.push(event{at: cfg.HealthEvery, kind: evHealth})
+	}
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.at > cfg.Duration {
+			break
+		}
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			s.arrive()
+		case evComplete:
+			s.complete(e)
+		case evHealth:
+			s.healthCheck()
+		case evFail:
+			s.fail(e)
+		case evRepair:
+			s.repairDone(e)
+		}
+	}
+	s.finish()
+	return s.stats, nil
+}
+
+// startCondition resolves node i's starting condition.
+func (s *sim) startCondition(i int) string {
+	switch s.cfg.Condition {
+	case ConditionHealthy:
+		return ""
+	case ConditionSampled:
+		if plan := simfault.SamplePlan(s.cfg.Seed, i); plan != nil {
+			return plan.Name
+		}
+		return ""
+	default:
+		return s.cfg.Condition
+	}
+}
+
+// push enqueues an event with the next sequence number.
+func (s *sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// pushArrival schedules the next job arrival from the seeded
+// exponential interarrival stream.
+func (s *sim) pushArrival() {
+	gap := simfault.Exp(s.meanInter, s.cfg.Seed, s.arrivalK, sbArrival, 0)
+	s.lastArrival += gap
+	s.push(event{at: s.lastArrival, kind: evArrival})
+}
+
+// arrive enqueues the arriving job, schedules the next arrival, and
+// tries to place work.
+func (s *sim) arrive() {
+	id := s.arrivalK
+	class := Class(vclock.NewRNG(simfault.EventSeed(s.cfg.Seed, id, sbClass, 0)).Intn(int(numClasses)))
+	s.arrivalK++
+	s.stats.Arrivals++
+	s.queue = append(s.queue, job{id: id, class: class, arrival: s.now})
+	s.pushArrival()
+	s.dispatch()
+}
+
+// dispatch places queued jobs on eligible nodes until one side runs dry.
+func (s *sim) dispatch() {
+	for len(s.queue) > 0 {
+		ni := s.pickNode()
+		if ni < 0 {
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		n := &s.nodes[ni]
+		n.running, n.job, n.jobStart = true, j, s.now
+		s.waits = append(s.waits, s.now-j.arrival)
+		svc := s.cfg.Prices.Service(n.cond, j.class, n.rebalanced)
+		s.push(event{at: s.now + svc, kind: evComplete, node: ni, epoch: n.epoch})
+		s.dispatchK++
+	}
+}
+
+// eligible reports whether node i can accept a job right now.
+func (s *sim) eligible(i int) bool {
+	n := &s.nodes[i]
+	return n.state == stateReady && !n.running && !n.failed
+}
+
+// pickNode selects the next node per the scheduler policy, or -1 when
+// no node is eligible.
+func (s *sim) pickNode() int {
+	switch s.cfg.Scheduler {
+	case "round-robin":
+		for off := 0; off < len(s.nodes); off++ {
+			i := (s.rrCursor + off) % len(s.nodes)
+			if s.eligible(i) {
+				s.rrCursor = i + 1
+				return i
+			}
+		}
+		return -1
+	case "random":
+		var idle []int
+		for i := range s.nodes {
+			if s.eligible(i) {
+				idle = append(idle, i)
+			}
+		}
+		if len(idle) == 0 {
+			return -1
+		}
+		rng := vclock.NewRNG(simfault.EventSeed(s.cfg.Seed, s.dispatchK, sbPlace, 0))
+		return idle[rng.Intn(len(idle))]
+	default: // least-loaded
+		best := -1
+		for i := range s.nodes {
+			if s.eligible(i) && (best < 0 || s.nodes[i].busy < s.nodes[best].busy) {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// complete finishes a node's job unless the event went stale (the node
+// failed or was replaced mid-job).
+func (s *sim) complete(e event) {
+	n := &s.nodes[e.node]
+	if e.epoch != n.epoch || !n.running {
+		return
+	}
+	n.running = false
+	n.busy += s.now - n.jobStart
+	s.stats.Completed++
+	if n.replacePending {
+		s.beginReplace(e.node)
+		return
+	}
+	s.dispatch()
+}
+
+// disruptionBudget caps how many nodes the remediation loop may hold
+// out of ready service at once (cordoned, draining, or replacing):
+// roughly a tenth of the fleet, never less than one. Hard-failure
+// repairs are exempt — a struck node is already unavailable, and
+// fixing it only helps.
+func disruptionBudget(nodes int) int { return 1 + nodes/10 }
+
+// healthCheck runs the remediation pass over every node: detect struck
+// nodes into repair (requeueing their interrupted job), rebalance
+// compute-degraded nodes in place, and cordon degraded nodes toward
+// replacement — but only when the price table says replacement wins
+// (degraded nodes that still beat a healthy node on the job mix are
+// tolerated in service) and only within the disruption budget (never
+// cordon more than ~10% of the fleet at once; the rest retry next tick).
+func (s *sim) healthCheck() {
+	disrupted := 0
+	for i := range s.nodes {
+		if s.nodes[i].state != stateReady {
+			disrupted++
+		}
+	}
+	budget := disruptionBudget(len(s.nodes))
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		if n.failed {
+			n.failed = false
+			s.stats.Repaired++
+			if n.hasPending {
+				s.queue = append([]job{n.pendingJob}, s.queue...)
+				n.hasPending = false
+				s.stats.Requeues++
+			}
+			s.push(event{at: s.now + s.repairDuration(i), kind: evRepair, node: i, epoch: n.epoch})
+			continue
+		}
+		if n.state != stateReady || n.cond == "" {
+			continue
+		}
+		if isRebalanceCondition(n.cond) {
+			if !n.rebalanced {
+				n.rebalanced = true
+				s.stats.Rebalanced++
+				if s.stats.RecoveryPct == 0 {
+					if r, ok := s.cfg.Prices.RebalanceRecovery(n.cond); ok {
+						s.stats.RecoveryPct = r
+					}
+				}
+			}
+			continue
+		}
+		if mean, ok := s.cfg.Prices.MeanCondition(n.cond); ok && mean <= s.cfg.Prices.MeanHealthy() {
+			if !n.tolerated {
+				n.tolerated = true
+				s.stats.Tolerated++
+			}
+			continue
+		}
+		if disrupted >= budget {
+			continue
+		}
+		disrupted++
+		n.state = stateCordoned
+		if n.running {
+			n.replacePending = true
+		} else {
+			s.beginReplace(i)
+		}
+	}
+	s.push(event{at: s.now + s.cfg.HealthEvery, kind: evHealth})
+	s.dispatch()
+}
+
+// beginReplace takes a cordoned node out of service and schedules the
+// replacement's completion.
+func (s *sim) beginReplace(i int) {
+	n := &s.nodes[i]
+	n.state = stateDown
+	n.epoch++
+	n.replacePending = false
+	s.stats.Replaced++
+	s.push(event{at: s.now + s.repairDuration(i), kind: evRepair, node: i, epoch: n.epoch})
+}
+
+// repairDuration draws the jittered repair/replacement span for node i:
+// the profile's MTTR (or the default replacement cost) scaled by a
+// deterministic factor in [0.5, 1.5).
+func (s *sim) repairDuration(i int) vclock.Time {
+	n := &s.nodes[i]
+	base := s.profile.MTTR
+	if base <= 0 {
+		base = defaultReplaceTime
+	}
+	jitter := 0.5 + simfault.Uniform(s.cfg.Seed, i, sbRepair, n.repairK)
+	n.repairK++
+	return vclock.Time(float64(base) * jitter)
+}
+
+// fail strikes node e.node with a hard failure unless the draw went
+// stale (the node was repaired or replaced since the draw).
+func (s *sim) fail(e event) {
+	n := &s.nodes[e.node]
+	if e.epoch != n.epoch {
+		return
+	}
+	s.stats.HardFailures++
+	n.epoch++
+	n.state = stateDown
+	n.failed = true
+	n.replacePending = false
+	if n.running {
+		n.busy += s.now - n.jobStart
+		n.running = false
+		if s.cfg.Remediate {
+			n.pendingJob, n.hasPending = n.job, true
+		} else {
+			s.stats.Lost++
+		}
+	}
+}
+
+// repairDone returns a node to service: repaired or replaced hardware
+// comes back healthy with a fresh failure clock.
+func (s *sim) repairDone(e event) {
+	n := &s.nodes[e.node]
+	if e.epoch != n.epoch {
+		return
+	}
+	n.state = stateReady
+	n.cond = ""
+	n.rebalanced = false
+	n.failed = false
+	n.tolerated = false
+	if s.profile.MTBF > 0 {
+		s.scheduleFailure(e.node)
+	}
+	s.dispatch()
+}
+
+// scheduleFailure draws node i's next hard-failure gap and enqueues it.
+func (s *sim) scheduleFailure(i int) {
+	n := &s.nodes[i]
+	gap := simfault.Exp(s.profile.MTBF, s.cfg.Seed, i, sbFail, n.failK)
+	n.failK++
+	s.push(event{at: s.now + gap, kind: evFail, node: i, epoch: n.epoch})
+}
+
+// finish clips still-running jobs at the horizon and computes the
+// rate, utilization, and quantile rollups.
+func (s *sim) finish() {
+	var busy vclock.Time
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		if n.running {
+			n.busy += s.cfg.Duration - n.jobStart
+			n.running = false
+		}
+		busy += n.busy
+	}
+	s.stats.Utilization = float64(busy) / (float64(s.cfg.Duration) * float64(s.cfg.Nodes))
+	s.stats.Throughput = float64(s.stats.Completed) / (float64(s.cfg.Duration) / float64(hour))
+	if len(s.waits) > 0 {
+		sorted := append([]vclock.Time(nil), s.waits...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.stats.QueueP50 = quantile(sorted, 0.50)
+		s.stats.QueueP99 = quantile(sorted, 0.99)
+	}
+}
+
+// quantile reads the q-th quantile of an ascending-sorted sample.
+func quantile(sorted []vclock.Time, q float64) vclock.Time {
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[i]
+}
