@@ -288,12 +288,65 @@ func SymmetricStepRebalanced(m core.Model, node *machine.Node, cfg SymmetricConf
 	return static, rebalanced, nil
 }
 
+// stepScript expresses one representative OVERFLOW step as a SeqStep
+// script: the per-rank OMP-region compute (already priced by the
+// steady slowdown math in rankStepTime), the fringe exchange as one
+// shifted-ring step per partner with per-rank payload sizes, and the
+// residual allreduce. The shift normalization mirrors the goroutine
+// body's dst==id/src==id fallbacks: a shift that is a multiple of the
+// rank count degenerates to the one-rank shift on every rank.
+func stepScript(computes []vclock.Time, assignment [][]Piece) []simmpi.SeqStep {
+	ranks := len(computes)
+	steps := make([]simmpi.SeqStep, 0, 5)
+	steps = append(steps, simmpi.SeqStep{Kind: simmpi.ComputeStep, ComputePer: computes})
+	if ranks > 1 {
+		partners := 3
+		if partners > ranks-1 {
+			partners = ranks - 1
+		}
+		per := make([]int, ranks)
+		for i := range per {
+			fringeBytes := int(0.15 * float64(Load(assignment[i])) * 56)
+			per[i] = fringeBytes / partners
+			if per[i] < 64 {
+				per[i] = 64
+			}
+		}
+		for p := 1; p <= partners; p++ {
+			steps = append(steps, simmpi.SeqStep{
+				Kind:     simmpi.RingKind,
+				Shift:    p*ranks/(partners+1) + 1,
+				BytesPer: per,
+			})
+		}
+	}
+	steps = append(steps, simmpi.SeqStep{Kind: simmpi.AllreduceKind, Bytes: 8})
+	return steps
+}
+
+// SymmetricStepReplay prices one representative step in closed form on
+// the clock-vector replay: the per-rank OMP regions charge as compute,
+// and the fringe/residual exchanges replay through the step script. ok
+// is false when the world refuses the fast path — fault plans,
+// heterogeneous placement (every Figure 23 symmetric world), fewer
+// than two ranks, or MAIA_NO_FASTPATH — and the goroutine engine runs
+// instead.
+func SymmetricStepReplay(w *simmpi.World, computes []vclock.Time, assignment [][]Piece) (vclock.Time, bool) {
+	return w.RepeatSeq(stepScript(computes, assignment), 1)
+}
+
 // runStepMixed executes one representative step on a (possibly
 // heterogeneous) world, returning the makespan, the MPI profile, and
 // each rank's observed compute time (the signal the dynamic rebalancer
 // keys on). plan, when non-nil, injects faults into the world: compute
 // derating happens inside Rank.Compute, so the observed times include
 // stragglers and throttle windows.
+//
+// Homogeneous healthy worlds (the Figure 22 ranks x threads sweep)
+// price through SymmetricStepReplay instead of running goroutines; on
+// that path the observed compute IS the charged compute (no plan to
+// derate it) and the profile summary is zero — the profile-consuming
+// callers all build heterogeneous worlds, which never take the replay.
 func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machine.Device,
 	assignment [][]Piece, locs []simmpi.Location, stack *pcie.Stack,
 	plan *simfault.Plan) (vclock.Time, simmpi.ProfileSummary, []vclock.Time, error) {
@@ -309,40 +362,10 @@ func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machi
 	for i := range computes {
 		computes[i] = rankStepTime(m, node, devs[i], combos[i], assignment[i])
 	}
-	err = w.Run(func(r *simmpi.Rank) {
-		id := r.ID()
-		r.Compute(computes[id])
-		if ranks > 1 {
-			// Overset fringe exchange: each zone's fringe points are
-			// interpolated from donor zones scattered across the grid
-			// system, so every rank trades fringe data with a handful
-			// of partners — not just chain neighbours. Fringe volume is
-			// ~8% of the rank's points at 7 variables of 8 bytes.
-			fringeBytes := int(0.15 * float64(Load(assignment[id])) * 56)
-			partners := 3
-			if partners > ranks-1 {
-				partners = ranks - 1
-			}
-			per := fringeBytes / partners
-			if per < 64 {
-				per = 64
-			}
-			fringe := simmpi.GetPayload(per)
-			for p := 1; p <= partners; p++ {
-				dst := (id + p*ranks/(partners+1) + 1) % ranks
-				if dst == id {
-					dst = (id + 1) % ranks
-				}
-				src := (id - p*ranks/(partners+1) - 1 + ranks) % ranks
-				if src == id {
-					src = (id - 1 + ranks) % ranks
-				}
-				simmpi.Recycle(r.Sendrecv(dst, p, fringe, src, p))
-			}
-			simmpi.Recycle(fringe)
-		}
-		r.AllreduceSum(1)
-	})
+	if t, ok := SymmetricStepReplay(w, computes, assignment); ok {
+		return t, simmpi.ProfileSummary{}, computes, nil
+	}
+	err = w.Run(func(r *simmpi.Rank) { stepBody(r, computes, assignment) })
 	if err != nil {
 		return 0, simmpi.ProfileSummary{}, nil, err
 	}
@@ -351,6 +374,46 @@ func runStepMixed(m core.Model, node *machine.Node, combos []Combo, devs []machi
 		observed[i] = p.Compute
 	}
 	return w.MaxTime(), w.Summarize(), observed, nil
+}
+
+// stepBody is the goroutine-engine execution of one representative
+// step: the fallback SymmetricStepReplay is pinned against, and the
+// only path under fault plans, heterogeneous placement, or
+// MAIA_NO_FASTPATH.
+func stepBody(r *simmpi.Rank, computes []vclock.Time, assignment [][]Piece) {
+	id := r.ID()
+	ranks := r.Size()
+	r.Compute(computes[id])
+	if ranks > 1 {
+		// Overset fringe exchange: each zone's fringe points are
+		// interpolated from donor zones scattered across the grid
+		// system, so every rank trades fringe data with a handful
+		// of partners — not just chain neighbours. Fringe volume is
+		// ~8% of the rank's points at 7 variables of 8 bytes.
+		fringeBytes := int(0.15 * float64(Load(assignment[id])) * 56)
+		partners := 3
+		if partners > ranks-1 {
+			partners = ranks - 1
+		}
+		per := fringeBytes / partners
+		if per < 64 {
+			per = 64
+		}
+		fringe := simmpi.GetPayload(per)
+		for p := 1; p <= partners; p++ {
+			dst := (id + p*ranks/(partners+1) + 1) % ranks
+			if dst == id {
+				dst = (id + 1) % ranks
+			}
+			src := (id - p*ranks/(partners+1) - 1 + ranks) % ranks
+			if src == id {
+				src = (id - 1 + ranks) % ranks
+			}
+			simmpi.Recycle(r.Sendrecv(dst, p, fringe, src, p))
+		}
+		simmpi.Recycle(fringe)
+	}
+	r.AllreduceSum(1)
 }
 
 // HostOnlyStepTime prices DLRF6-Large on the host alone (16x1) — the

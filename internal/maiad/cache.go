@@ -20,25 +20,61 @@ type Entry struct {
 	Seeded bool
 }
 
-// Cache is the content-addressed result store: an in-memory map from
-// JobSpec hash to Entry. Experiment output is deterministic — the same
-// spec always renders the same bytes — so entries never expire and
-// never need invalidation; the map only grows with distinct jobs.
+// cacheShards is the power-of-two shard count. Content addresses are
+// hex SHA-256 strings, so the first character distributes keys
+// uniformly across 16 shards.
+const cacheShards = 16
+
+// Cache is the content-addressed result store: a sharded in-memory map
+// from JobSpec hash to Entry. Experiment output is deterministic — the
+// same spec always renders the same bytes — so entries never expire and
+// never need invalidation; the maps only grow with distinct jobs.
+// Sharding by content-address prefix keeps concurrent request bursts
+// from serializing on one lock: a hit under one shard's read lock never
+// waits on a store landing in another shard.
 type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+// cacheShard is one lock-and-map slice of the key space.
+type cacheShard struct {
 	mu sync.RWMutex
 	m  map[string]Entry
 }
 
+// shardOf maps a key to its shard by content-address prefix.
+func shardOf(key string) int {
+	if len(key) == 0 {
+		return 0
+	}
+	switch c := key[0]; {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		// Non-hex keys (nothing the server produces) still land somewhere.
+		return int(c) & (cacheShards - 1)
+	}
+}
+
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[string]Entry)}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Entry)
+	}
+	return c
 }
 
 // Get returns the entry stored under key.
 func (c *Cache) Get(key string) (Entry, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.m[key]
+	s := &c.shards[shardOf(key)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[key]
 	return e, ok
 }
 
@@ -46,18 +82,24 @@ func (c *Cache) Get(key string) (Entry, bool) {
 // later computation of the same key byte-identical, so overwriting
 // could only replace a seeded entry with an equal one.
 func (c *Cache) Put(key string, e Entry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.m[key]; !dup {
-		c.m[key] = e
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[key]; !dup {
+		s.m[key] = e
 	}
 }
 
 // Len reports how many entries the cache holds.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // SeedFromGolden preloads the cache with the golden snapshots: for

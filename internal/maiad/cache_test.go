@@ -1,7 +1,9 @@
 package maiad
 
 import (
+	"fmt"
 	"io/fs"
+	"sync"
 	"testing"
 
 	"maia/internal/harness"
@@ -62,4 +64,82 @@ func TestSeedFromGoldenMissing(t *testing.T) {
 	if n, err := c.SeedFromGolden(harness.Paper(), nil); err != nil || n != 0 {
 		t.Fatalf("nil FS: n=%d err=%v", n, err)
 	}
+}
+
+// Sharding distributes hex content addresses and survives concurrent
+// mixed traffic; first-write-wins holds per shard.
+func TestCacheShardedConcurrent(t *testing.T) {
+	c := NewCache()
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%02x-key-%d", i*4, i) // spread across shards
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				for _, k := range keys {
+					c.Put(k, Entry{Output: []byte(k)})
+					if e, ok := c.Get(k); !ok || string(e.Output) != k {
+						t.Errorf("worker %d: key %q read %q ok=%v", w, k, e.Output, ok)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != len(keys) {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), len(keys))
+	}
+}
+
+// BenchmarkCacheParallelGet measures hit latency under concurrent
+// readers — the sharded layout's reason to exist.
+func BenchmarkCacheParallelGet(b *testing.B) {
+	c := NewCache()
+	spec := harness.JobSpec{Experiment: "fig22"}
+	keys := make([]string, 256)
+	for i := range keys {
+		spec.Seed = uint64(i + 1)
+		keys[i] = spec.Hash()
+		c.Put(keys[i], Entry{Output: []byte("x")})
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok := c.Get(keys[i&255]); !ok {
+				b.Fatal("miss on a stored key")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCacheParallelMixed adds a store every 64th operation — the
+// warm-server traffic shape (hits dominate, occasional new results).
+func BenchmarkCacheParallelMixed(b *testing.B) {
+	c := NewCache()
+	spec := harness.JobSpec{Experiment: "fig22"}
+	keys := make([]string, 256)
+	for i := range keys {
+		spec.Seed = uint64(i + 1)
+		keys[i] = spec.Hash()
+		c.Put(keys[i], Entry{Output: []byte("x")})
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i&63 == 0 {
+				c.Put(keys[i&255], Entry{Output: []byte("x")})
+			} else {
+				c.Get(keys[i&255])
+			}
+			i++
+		}
+	})
 }

@@ -130,25 +130,41 @@ type Metrics struct {
 	InFlight atomic.Int64
 
 	start time.Time
-	mu    sync.Mutex
-	lat   map[string]*Histogram
+	// lat is a copy-on-write map of endpoint label to histogram: lookups
+	// (one per request) are a lock-free atomic load, and only the rare
+	// first-use of a new label takes mu to publish a fresh copy. The
+	// histograms themselves are atomic, so neither Observe nor a /metrics
+	// snapshot ever stalls request handling on a shared mutex.
+	lat atomic.Pointer[map[string]*Histogram]
+	mu  sync.Mutex // serializes copy-on-write publishes of lat
 }
 
 // NewMetrics returns a Metrics anchored at now.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), lat: make(map[string]*Histogram)}
+	m := &Metrics{start: time.Now()}
+	m.lat.Store(&map[string]*Histogram{})
+	return m
 }
 
 // Endpoint returns (creating on first use) the latency histogram of one
 // endpoint label.
 func (m *Metrics) Endpoint(name string) *Histogram {
+	if h, ok := (*m.lat.Load())[name]; ok {
+		return h
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	h, ok := m.lat[name]
-	if !ok {
-		h = &Histogram{}
-		m.lat[name] = h
+	cur := *m.lat.Load()
+	if h, ok := cur[name]; ok {
+		return h
 	}
+	next := make(map[string]*Histogram, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	h := &Histogram{}
+	next[name] = h
+	m.lat.Store(&next)
 	return h
 }
 
@@ -197,9 +213,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		JobsInFlight: m.InFlight.Load(),
 		Endpoints:    make(map[string]EndpointStats),
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for name, h := range m.lat {
+	for name, h := range *m.lat.Load() {
 		s.Endpoints[name] = EndpointStats{
 			Count:  h.Count(),
 			MeanNs: h.Mean().Nanoseconds(),

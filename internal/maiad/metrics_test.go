@@ -2,6 +2,7 @@ package maiad
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -116,5 +117,45 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("prom output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// Endpoint's copy-on-write registry: the same label always resolves to
+// the same histogram, lookups race safely against first-use creation
+// and snapshots, and the steady-state lookup allocates nothing.
+func TestEndpointStableUnderConcurrency(t *testing.T) {
+	m := NewMetrics()
+	labels := []string{"job", "metrics", "healthz", "experiments"}
+	first := make(map[string]*Histogram)
+	for _, l := range labels {
+		first[l] = m.Endpoint(l)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l := labels[i%len(labels)]
+				h := m.Endpoint(l)
+				if h != first[l] {
+					t.Errorf("worker %d: label %q resolved to a different histogram", w, l)
+					return
+				}
+				h.Observe(time.Microsecond)
+				if i%50 == 0 {
+					m.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	var total int64
+	for _, e := range snap.Endpoints {
+		total += e.Count
+	}
+	if total != 8*200 {
+		t.Fatalf("observed %d latencies, want %d", total, 8*200)
 	}
 }

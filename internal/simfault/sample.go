@@ -3,6 +3,7 @@ package simfault
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"maia/internal/vclock"
 )
@@ -63,29 +64,51 @@ func EventSeed(seed uint64, a, b, c int) uint64 {
 	return s
 }
 
+// sampleCatalog memoizes the plan catalog SamplePlan draws from: the
+// catalog is immutable configuration, SamplePlan copies a plan before
+// reseeding it, and nothing writes through the shared fault slices — so
+// sampling a 512-node fleet stops rebuilding the five-plan catalog (and
+// re-sorting it) once per node.
+var sampleCatalog = sync.OnceValue(func() map[string]*Plan {
+	byName := make(map[string]*Plan)
+	for _, p := range Plans() {
+		byName[p.Name] = p
+	}
+	return byName
+})
+
+// SampleCondition returns just the condition name SamplePlan would draw
+// for (seed, node) — "" for a healthy node — without building the plan.
+// Callers that key behavior on the name alone (the fleet's price-table
+// lookups) avoid the per-node plan copy.
+func SampleCondition(seed uint64, node int) string {
+	rng := vclock.NewRNG(EventSeed(seed, node, streamCondition, 0))
+	pick := rng.Intn(1000)
+	for _, c := range conditionWeights {
+		if pick < c.weight {
+			return c.name
+		}
+		pick -= c.weight
+	}
+	return ""
+}
+
 // SamplePlan draws the condition node `node` carries in the fleet rooted
 // at seed: nil for a healthy node, otherwise a catalog plan re-seeded
 // per node (so two straggling nodes still make independent drop and
 // retry decisions). The draw is a pure function of (seed, node).
 func SamplePlan(seed uint64, node int) *Plan {
-	rng := vclock.NewRNG(EventSeed(seed, node, streamCondition, 0))
-	pick := rng.Intn(1000)
-	for _, c := range conditionWeights {
-		if pick < c.weight {
-			if c.name == "" {
-				return nil
-			}
-			plan, err := ByName(c.name)
-			if err != nil {
-				return nil // unreachable: the weight table names catalog plans
-			}
-			reseeded := *plan
-			reseeded.Seed = EventSeed(seed, node, streamPlanSeed, 0)
-			return &reseeded
-		}
-		pick -= c.weight
+	name := SampleCondition(seed, node)
+	if name == "" {
+		return nil
 	}
-	return nil
+	plan := sampleCatalog()[name]
+	if plan == nil {
+		return nil // unreachable: the weight table names catalog plans
+	}
+	reseeded := *plan
+	reseeded.Seed = EventSeed(seed, node, streamPlanSeed, 0)
+	return &reseeded
 }
 
 // Uniform returns a deterministic draw in [0, 1) for the event identity

@@ -1,0 +1,8 @@
+//go:build race
+
+package simfleet
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-bound guards relax under it, since the detector's
+// instrumentation adds allocations of its own.
+const raceEnabled = true

@@ -1,9 +1,9 @@
 package simfleet
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
 
+	"maia/internal/bufpool"
 	"maia/internal/simfault"
 	"maia/internal/vclock"
 )
@@ -105,6 +105,11 @@ type fnode struct {
 	job            job
 	jobStart       vclock.Time
 	busy           vclock.Time
+	// svc caches the per-class service times of the node's current
+	// (cond, rebalanced) state, refreshed whenever either changes, so
+	// dispatch indexes an array instead of hashing a condition name per
+	// job.
+	svc [numClasses]vclock.Time
 }
 
 // eventKind discriminates the event heap's entries.
@@ -127,34 +132,60 @@ type event struct {
 	epoch int
 }
 
-// eventHeap orders events by (time, push sequence) — the sequence tie-
-// break makes the pop order a pure function of the push history.
+// eventHeap is a binary min-heap of events ordered by (time, push
+// sequence). The sequence tie-break makes (at, seq) a total order, so
+// the pop sequence is a pure function of the push history — any correct
+// priority queue yields the same one. Hand-rolled rather than
+// container/heap because heap.Push boxes each event into an interface:
+// one heap allocation per scheduled event, the fleet loop's dominant
+// malloc source.
 type eventHeap []event
 
-// Len implements heap.Interface.
-func (h eventHeap) Len() int { return len(h) }
-
-// Less implements heap.Interface: earlier time first, then push order.
-func (h eventHeap) Less(i, j int) bool {
+// less orders by time, then push sequence.
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-// Swap implements heap.Interface.
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// push inserts e and sifts it up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
 
-// Push implements heap.Interface.
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-// Pop implements heap.Interface.
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && s.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // isRebalanceCondition reports whether the remediation loop fixes the
@@ -173,8 +204,14 @@ type sim struct {
 	seq     uint64
 	now     vclock.Time
 
+	// queue[qhead:] is the pending-job FIFO: popping the front advances
+	// qhead instead of re-slicing (which makes append grow a fresh
+	// backing array every time the old front is still referenced), and
+	// enqueue compacts the drained prefix away before growing.
 	queue       []job
+	qhead       int
 	waits       []vclock.Time
+	idle        []int // random-policy scratch, reused across dispatches
 	meanInter   vclock.Time
 	lastArrival vclock.Time
 	arrivalK    int
@@ -183,6 +220,18 @@ type sim struct {
 
 	stats Stats
 }
+
+// Run's scratch — node states, the event heap, the job queue, the
+// dispatch-wait sample, the idle list — recycles through size-classed
+// pools, so a fleet sweep's steady state allocates almost nothing per
+// run.
+var (
+	nodePool  bufpool.Pool[fnode]
+	eventPool bufpool.Pool[event]
+	jobPool   bufpool.Pool[job]
+	waitPool  bufpool.Pool[vclock.Time]
+	idlePool  bufpool.Pool[int]
+)
 
 // Run simulates one fleet and returns its statistics. The result is a
 // pure function of cfg: equal configs (and equal price tables) yield
@@ -193,7 +242,10 @@ func Run(cfg Config) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	s := &sim{cfg: cfg, profile: profile, nodes: make([]fnode, cfg.Nodes)}
+	s := &sim{cfg: cfg, profile: profile, nodes: nodePool.GetZeroed(cfg.Nodes)}
+	s.events = eventPool.Get(4*cfg.Nodes + 64)[:0]
+	s.queue = jobPool.Get(2*cfg.Nodes + 64)[:0]
+	s.idle = idlePool.Get(cfg.Nodes)[:0]
 	s.stats = Stats{
 		Nodes:     cfg.Nodes,
 		Duration:  cfg.Duration,
@@ -203,11 +255,17 @@ func Run(cfg Config) (Stats, error) {
 	for i := range s.nodes {
 		cond := s.startCondition(i)
 		s.nodes[i].cond = cond
+		s.refreshPrices(&s.nodes[i])
 		if cond != "" {
 			s.stats.DegradedStart++
 		}
 	}
 	s.meanInter = cfg.Prices.MeanHealthy() / vclock.Time(float64(cfg.Nodes)*cfg.Load)
+	// Size the wait sample for the expected arrival count so steady-state
+	// runs never regrow it; the estimate only seeds the capacity class.
+	if est := int(float64(cfg.Duration)/float64(s.meanInter)) + 16; est > 0 {
+		s.waits = waitPool.Get(est)[:0]
+	}
 	s.pushArrival()
 	if profile.MTBF > 0 {
 		for i := range s.nodes {
@@ -218,8 +276,8 @@ func Run(cfg Config) (Stats, error) {
 		s.push(event{at: cfg.HealthEvery, kind: evHealth})
 	}
 
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 {
+		e := s.events.pop()
 		if e.at > cfg.Duration {
 			break
 		}
@@ -238,7 +296,20 @@ func Run(cfg Config) (Stats, error) {
 		}
 	}
 	s.finish()
+	nodePool.Put(s.nodes)
+	eventPool.Put(s.events)
+	jobPool.Put(s.queue)
+	waitPool.Put(s.waits)
+	idlePool.Put(s.idle)
 	return s.stats, nil
+}
+
+// refreshPrices recomputes a node's cached per-class service times from
+// its current condition and rebalance state.
+func (s *sim) refreshPrices(n *fnode) {
+	for c := Class(0); c < numClasses; c++ {
+		n.svc[c] = s.cfg.Prices.Service(n.cond, c, n.rebalanced)
+	}
 }
 
 // startCondition resolves node i's starting condition.
@@ -247,10 +318,7 @@ func (s *sim) startCondition(i int) string {
 	case ConditionHealthy:
 		return ""
 	case ConditionSampled:
-		if plan := simfault.SamplePlan(s.cfg.Seed, i); plan != nil {
-			return plan.Name
-		}
-		return ""
+		return simfault.SampleCondition(s.cfg.Seed, i)
 	default:
 		return s.cfg.Condition
 	}
@@ -260,7 +328,19 @@ func (s *sim) startCondition(i int) string {
 func (s *sim) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
+}
+
+// enqueue appends a job to the pending FIFO, first compacting the
+// drained prefix so a long-lived queue reuses its backing array instead
+// of growing past it.
+func (s *sim) enqueue(j job) {
+	if s.qhead > 0 && len(s.queue) == cap(s.queue) {
+		n := copy(s.queue, s.queue[s.qhead:])
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+	s.queue = append(s.queue, j)
 }
 
 // pushArrival schedules the next job arrival from the seeded
@@ -278,25 +358,27 @@ func (s *sim) arrive() {
 	class := Class(vclock.NewRNG(simfault.EventSeed(s.cfg.Seed, id, sbClass, 0)).Intn(int(numClasses)))
 	s.arrivalK++
 	s.stats.Arrivals++
-	s.queue = append(s.queue, job{id: id, class: class, arrival: s.now})
+	s.enqueue(job{id: id, class: class, arrival: s.now})
 	s.pushArrival()
 	s.dispatch()
 }
 
 // dispatch places queued jobs on eligible nodes until one side runs dry.
 func (s *sim) dispatch() {
-	for len(s.queue) > 0 {
+	for s.qhead < len(s.queue) {
 		ni := s.pickNode()
 		if ni < 0 {
 			return
 		}
-		j := s.queue[0]
-		s.queue = s.queue[1:]
+		j := s.queue[s.qhead]
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue, s.qhead = s.queue[:0], 0
+		}
 		n := &s.nodes[ni]
 		n.running, n.job, n.jobStart = true, j, s.now
 		s.waits = append(s.waits, s.now-j.arrival)
-		svc := s.cfg.Prices.Service(n.cond, j.class, n.rebalanced)
-		s.push(event{at: s.now + svc, kind: evComplete, node: ni, epoch: n.epoch})
+		s.push(event{at: s.now + n.svc[j.class], kind: evComplete, node: ni, epoch: n.epoch})
 		s.dispatchK++
 	}
 }
@@ -321,12 +403,13 @@ func (s *sim) pickNode() int {
 		}
 		return -1
 	case "random":
-		var idle []int
+		idle := s.idle[:0]
 		for i := range s.nodes {
 			if s.eligible(i) {
 				idle = append(idle, i)
 			}
 		}
+		s.idle = idle
 		if len(idle) == 0 {
 			return -1
 		}
@@ -388,7 +471,7 @@ func (s *sim) healthCheck() {
 			n.failed = false
 			s.stats.Repaired++
 			if n.hasPending {
-				s.queue = append([]job{n.pendingJob}, s.queue...)
+				s.requeueFront(n.pendingJob)
 				n.hasPending = false
 				s.stats.Requeues++
 			}
@@ -401,6 +484,7 @@ func (s *sim) healthCheck() {
 		if isRebalanceCondition(n.cond) {
 			if !n.rebalanced {
 				n.rebalanced = true
+				s.refreshPrices(n)
 				s.stats.Rebalanced++
 				if s.stats.RecoveryPct == 0 {
 					if r, ok := s.cfg.Prices.RebalanceRecovery(n.cond); ok {
@@ -430,6 +514,19 @@ func (s *sim) healthCheck() {
 	}
 	s.push(event{at: s.now + s.cfg.HealthEvery, kind: evHealth})
 	s.dispatch()
+}
+
+// requeueFront puts an interrupted job back at the head of the FIFO, so
+// detection-time requeues keep their original scheduling priority.
+func (s *sim) requeueFront(j job) {
+	if s.qhead > 0 {
+		s.qhead--
+		s.queue[s.qhead] = j
+		return
+	}
+	s.queue = append(s.queue, job{})
+	copy(s.queue[1:], s.queue)
+	s.queue[0] = j
 }
 
 // beginReplace takes a cordoned node out of service and schedules the
@@ -492,6 +589,7 @@ func (s *sim) repairDone(e event) {
 	n.rebalanced = false
 	n.failed = false
 	n.tolerated = false
+	s.refreshPrices(n)
 	if s.profile.MTBF > 0 {
 		s.scheduleFailure(e.node)
 	}
@@ -521,10 +619,11 @@ func (s *sim) finish() {
 	s.stats.Utilization = float64(busy) / (float64(s.cfg.Duration) * float64(s.cfg.Nodes))
 	s.stats.Throughput = float64(s.stats.Completed) / (float64(s.cfg.Duration) / float64(hour))
 	if len(s.waits) > 0 {
-		sorted := append([]vclock.Time(nil), s.waits...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		s.stats.QueueP50 = quantile(sorted, 0.50)
-		s.stats.QueueP99 = quantile(sorted, 0.99)
+		// The sample is dead after this, so sort in place: value order is
+		// all the quantiles read, and any ascending sort yields it.
+		slices.Sort(s.waits)
+		s.stats.QueueP50 = quantile(s.waits, 0.50)
+		s.stats.QueueP99 = quantile(s.waits, 0.99)
 	}
 }
 

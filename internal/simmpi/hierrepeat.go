@@ -41,12 +41,22 @@ type SeqStep struct {
 	// It overrides Compute.
 	ComputePer []vclock.Time
 	// Kind selects the operation: BcastKind, AllreduceKind,
-	// AllgatherKind, AlltoallKind, PairKind, or ComputeStep.
+	// AllgatherKind, AlltoallKind, PairKind, RingKind, or ComputeStep.
 	Kind CollectiveKind
 	// Bytes is the per-rank payload: the block size for
 	// Allgather/Alltoall, the vector bytes for Allreduce, the message
-	// size for PairKind. Ignored by ComputeStep.
+	// size for Pair/Ring exchanges. Ignored by ComputeStep.
 	Bytes int
+	// BytesPer, when non-nil, gives rank i a BytesPer[i%len]-byte
+	// payload instead of Bytes — the OVERFLOW fringe shape, where each
+	// rank's exchange volume tracks its zone load. Valid only for
+	// PairKind and RingKind (collectives take one uniform size).
+	BytesPer []int
+	// Shift is RingKind's exchange distance: rank i sends to
+	// (i+Shift)%size and receives from (i-Shift+size)%size. Zero (and
+	// any multiple of the world size) shifts by one — a rank never
+	// exchanges with itself.
+	Shift int
 }
 
 // rackRepeatable reports whether the world qualifies for the rack
@@ -75,6 +85,9 @@ func (w *World) rackStepReplayable(st SeqStep) bool {
 	R := w.rack.perNode
 	if st.ComputePer != nil && R%len(st.ComputePer) != 0 {
 		return false // would differ across nodes
+	}
+	if st.BytesPer != nil {
+		return false // per-rank payload sizes break per-local-index symmetry
 	}
 	switch st.Kind {
 	case ComputeStep, AllreduceKind, AllgatherKind, AlltoallKind:
@@ -378,6 +391,22 @@ func (w *World) validateSeq(steps []SeqStep) error {
 		if st.ComputePer != nil && len(st.ComputePer) == 0 {
 			return fmt.Errorf("simmpi: step %d has empty ComputePer", i)
 		}
+		if st.Shift < 0 {
+			return fmt.Errorf("simmpi: step %d has negative Shift", i)
+		}
+		if st.BytesPer != nil {
+			if st.Kind != PairKind && st.Kind != RingKind {
+				return fmt.Errorf("simmpi: step %d sets BytesPer on %v (Pair/Ring only)", i, st.Kind)
+			}
+			if len(st.BytesPer) == 0 {
+				return fmt.Errorf("simmpi: step %d has empty BytesPer", i)
+			}
+			for _, b := range st.BytesPer {
+				if b < 0 {
+					return fmt.Errorf("simmpi: step %d has negative BytesPer entry", i)
+				}
+			}
+		}
 		switch st.Kind {
 		case ComputeStep, BcastKind, AllreduceKind, AllgatherKind, AlltoallKind:
 		case PairKind:
@@ -413,13 +442,14 @@ func seqBody(r *Rank, steps []SeqStep, iters int) {
 			case ComputeStep:
 			case PairKind:
 				partner := r.ID() ^ 1
-				buf := GetPayload(st.Bytes)
+				buf := GetPayload(stepRankBytes(r.ID(), st.Bytes, st.BytesPer))
 				Recycle(r.Sendrecv(partner, 0, buf, partner, 0))
 				Recycle(buf)
 			case RingKind:
-				right := (r.ID() + 1) % n
-				left := (r.ID() - 1 + n) % n
-				buf := GetPayload(st.Bytes)
+				sh := seqShift(st, n)
+				right := (r.ID() + sh) % n
+				left := (r.ID() - sh + n) % n
+				buf := GetPayload(stepRankBytes(r.ID(), st.Bytes, st.BytesPer))
 				Recycle(r.Sendrecv(right, 0, buf, left, 0))
 				Recycle(buf)
 			case BcastKind:
@@ -470,32 +500,16 @@ func (w *World) RepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
 	return w.flatRepeatSeq(steps, iters)
 }
 
-// flatRepeatSeq replays a script on a flat symmetric world.
+// flatRepeatSeq replays a script on a flat symmetric world: on the
+// scalar clock when every step keeps every rank's clock equal, on the
+// clock vector otherwise (per-rank compute or payload sizes, binomial
+// Bcast, the non-power-of-two Allreduce).
 func (w *World) flatRepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
 	if !w.repeatable() {
 		return 0, false
 	}
-	for _, st := range steps {
-		if st.ComputePer != nil {
-			return 0, false // per-rank compute breaks flat symmetry
-		}
-		switch st.Kind {
-		case ComputeStep, AllgatherKind, AlltoallKind:
-		case PairKind:
-			if w.size%2 != 0 {
-				return 0, false
-			}
-		case RingKind:
-			// A ring shift is symmetric for any size >= 2: every rank
-			// posts one send and receives one message posted at the same
-			// clock (repeatable() already requires size >= 2).
-		case AllreduceKind:
-			if w.size&(w.size-1) != 0 {
-				return 0, false
-			}
-		default:
-			return 0, false
-		}
+	if !w.seqScalar(steps) {
+		return w.vecRepeatSeq(steps, iters)
 	}
 	s := symReplay{w: w}
 	for i := 0; i < iters; i++ {
@@ -518,6 +532,34 @@ func (w *World) flatRepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
 		w.traceRepeat(fmt.Sprintf("seq x%d", iters), &s)
 	}
 	return s.t, true
+}
+
+// seqScalar reports whether every step of a script preserves the scalar
+// replay's equal-clock symmetry.
+func (w *World) seqScalar(steps []SeqStep) bool {
+	for _, st := range steps {
+		if st.ComputePer != nil || st.BytesPer != nil {
+			return false // per-rank shapes need the clock vector
+		}
+		switch st.Kind {
+		case ComputeStep, AllgatherKind, AlltoallKind:
+		case PairKind:
+			if w.size%2 != 0 {
+				return false
+			}
+		case RingKind:
+			// A ring shift is symmetric for any size >= 2: every rank
+			// posts one send and receives one message posted at the same
+			// clock (repeatable() already requires size >= 2).
+		case AllreduceKind:
+			if w.size&(w.size-1) != 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // SeqTime builds a world and prices a script run of iters iterations:

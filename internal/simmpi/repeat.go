@@ -20,7 +20,10 @@ import (
 // result is identical, not just close.
 //
 // Asymmetric algorithms (binomial Bcast/Reduce, the non-power-of-two
-// reduce+bcast Allreduce, linear Gather/Scatter) and faulted or
+// reduce+bcast Allreduce, linear Gather/Scatter) break the equal-clock
+// argument but not the replayability: homogeneity still fixes every
+// pair's transfer cost, so one clock per rank replayed in dependency
+// order prices them exactly (vecrepeat.go). Only faulted or
 // heterogeneous worlds fall back to the full run.
 
 // noFastPathEnv force-disables the repeated-op fast path process-wide
@@ -112,10 +115,11 @@ func (w *World) repeatable() bool {
 
 // RepeatOp prices iters identical back-to-back collectives of the given
 // per-rank message size in one closed-form replay and returns the total
-// virtual time (every rank finishes together). ok is false when the
-// combination needs the full goroutine run: heterogeneous placement, a
-// fault plan, a world smaller than two ranks, or an asymmetric
-// algorithm (Bcast, non-power-of-two Allreduce).
+// virtual time. Symmetric algorithms replay on a scalar clock;
+// asymmetric ones (Bcast, the non-power-of-two Allreduce) on the full
+// clock vector. ok is false when the combination needs the full
+// goroutine run: heterogeneous placement, a fault plan, or a world
+// smaller than two ranks.
 //
 // RepeatOp does not populate per-rank profiles or final clocks; callers
 // use the returned time. With a tracer attached it emits one aggregated
@@ -134,7 +138,9 @@ func (w *World) RepeatOp(kind CollectiveKind, msgBytes, iters int) (vclock.Time,
 	for i := 0; i < iters; i++ {
 		a, ok := w.replayOnce(&s, kind, msgBytes)
 		if !ok {
-			return 0, false
+			// The algorithm is asymmetric (same refusal on every
+			// iteration): price it on the clock vector instead.
+			return w.vecRepeatOp(kind, msgBytes, iters)
 		}
 		algo = a
 	}

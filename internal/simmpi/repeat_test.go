@@ -96,9 +96,11 @@ func TestRepeatSendrecvMatchesFullRun(t *testing.T) {
 	}
 }
 
-// TestRepeatOpRefusals pins every fallback condition: asymmetric
-// algorithms, heterogeneous placement, fault plans, single-rank worlds,
-// and the escape hatch.
+// TestRepeatOpRefusals pins every fallback condition — heterogeneous
+// placement, fault plans, single-rank worlds, the escape hatch — and
+// the positive side: asymmetric algorithms (binomial Bcast, the
+// non-power-of-two reduce+bcast Allreduce) now price on the clock
+// vector instead of refusing.
 func TestRepeatOpRefusals(t *testing.T) {
 	// Force-enable so the positive assertions hold under MAIA_NO_FASTPATH.
 	prev := noFastPathEnv
@@ -109,8 +111,8 @@ func TestRepeatOpRefusals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := w.RepeatOp(BcastKind, 64, 1); ok {
-		t.Error("replayed the asymmetric binomial Bcast")
+	if _, ok := w.RepeatOp(BcastKind, 64, 1); !ok {
+		t.Error("refused the binomial Bcast (clock-vector replayable)")
 	}
 	if _, ok := w.RepeatOp(AllreduceKind, 64, 1); !ok {
 		t.Error("refused a power-of-two Allreduce")
@@ -119,8 +121,8 @@ func TestRepeatOpRefusals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := w3.RepeatOp(AllreduceKind, 64, 1); ok {
-		t.Error("replayed the asymmetric reduce+bcast Allreduce")
+	if _, ok := w3.RepeatOp(AllreduceKind, 64, 1); !ok {
+		t.Error("refused the reduce+bcast Allreduce (clock-vector replayable)")
 	}
 	mixed := Config{Ranks: append(HostPlacement(2, 1), PhiPlacement(machine.Phi0, 2, 1)...)}
 	wm, err := NewWorld(mixed)

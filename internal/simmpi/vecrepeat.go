@@ -1,0 +1,376 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"maia/internal/simtrace"
+	"maia/internal/vclock"
+)
+
+// The clock-vector replay generalizes repeat.go's scalar argument to
+// ASYMMETRIC algorithms on flat homogeneous worlds. The scalar replay
+// needs every rank's clock equal at every round boundary; a binomial
+// tree (Bcast, the reduce half of the non-power-of-two Allreduce) or a
+// linear scatter breaks that. But homogeneity still pins the one thing
+// asymmetry could vary: every rank pair has the same transferCost, so
+// the full world is reproduced by one clock PER RANK replayed through
+// the exact send/recvAt float recurrences in the goroutine engine's
+// message-matching order. Messages match per (src, tag) FIFO in
+// program order, so replaying ranks in dependency order (a bcast
+// parent before its children, reduce children before their parent, all
+// sends of a round before its receives) reproduces every rank's clock
+// bit for bit — the same argument hierrepeat.go makes for one
+// representative node, applied to the whole flat world.
+//
+// The replay refuses exactly where repeat.go does: fault plans,
+// heterogeneous placement, worlds smaller than two ranks, and the
+// MAIA_NO_FASTPATH escape hatch. Rack worlds keep the hierarchical
+// replay. Cost: O(ranks) state and O(messages) scalar arithmetic —
+// fig11/fig12's 236-rank catalogs price in microseconds.
+
+// vecReplay is the full clock vector of a flat homogeneous world.
+type vecReplay struct {
+	w *World
+	// t[j] is rank j's clock.
+	t []vclock.Time
+	// post[x] records the post time of the in-flight send addressed to
+	// rank x (or, in reduce, the single upward send OF rank x). Every
+	// pattern below has at most one outstanding message per slot.
+	post []vclock.Time
+	// msgs/bytes count the whole world's traffic for the aggregated
+	// trace span (unlike symReplay's per-rank counters).
+	msgs, bytes int64
+}
+
+func newVecReplay(w *World) *vecReplay {
+	n := w.size
+	return &vecReplay{w: w, t: make([]vclock.Time, n), post: make([]vclock.Time, n)}
+}
+
+// send mirrors Rank.send on rank src: records the post time, advances
+// the sender by the send-side cost, and returns the post time. All
+// pairs share transferCost(0, 1, ·) — the world is homogeneous.
+func (s *vecReplay) send(src, n int) vclock.Time {
+	tsPost := s.t[src]
+	sendSide, _, _ := s.w.transferCost(0, 1, n)
+	s.t[src] += sendSide
+	s.msgs++
+	s.bytes += int64(n)
+	return tsPost
+}
+
+// recv mirrors recvAt on rank dst for a message of n bytes posted at
+// tsPost.
+func (s *vecReplay) recv(dst, n int, tsPost vclock.Time) {
+	post := s.t[dst]
+	_, flight, rendezvous := s.w.transferCost(0, 1, n)
+	start := tsPost
+	if rendezvous {
+		start = vclock.Max(tsPost, post)
+	}
+	if done := start + flight; done > s.t[dst] {
+		s.t[dst] = done
+	}
+}
+
+// makespan returns the latest rank clock — the world's MaxTime.
+func (s *vecReplay) makespan() vclock.Time { return vclock.MaxOf(s.t...) }
+
+// replayBcastBinomial replays the binomial broadcast of nb bytes from
+// root 0 (rel == id). Ranks are processed in ascending index: a rank's
+// parent (j - lowbit(j)) always precedes it, and each rank's own
+// receive-then-send program order is preserved.
+func (s *vecReplay) replayBcastBinomial(nb int) {
+	n := s.w.size
+	for j := 0; j < n; j++ {
+		var mask int
+		if j != 0 {
+			mask = j & -j
+			s.recv(j, nb, s.post[j])
+			mask >>= 1
+		} else {
+			mask = 1
+			for mask < n {
+				mask <<= 1
+			}
+			mask >>= 1
+		}
+		for ; mask > 0; mask >>= 1 {
+			if j+mask < n {
+				s.post[j+mask] = s.send(j, nb)
+			}
+		}
+	}
+}
+
+// replayReduce replays the binomial reduce of nb bytes to root 0.
+// Ranks are processed in descending index: a rank's children (j + mask)
+// always precede it, so their upward send times are recorded before j
+// consumes them.
+func (s *vecReplay) replayReduce(nb int) {
+	n := s.w.size
+	for j := n - 1; j >= 0; j-- {
+		mask := 1
+		for mask < n {
+			if j&mask != 0 {
+				s.post[j] = s.send(j, nb)
+				break
+			}
+			if j+mask < n {
+				s.recv(j, nb, s.post[j+mask])
+			}
+			mask <<= 1
+		}
+	}
+}
+
+// replayScatter replays root 0's linear scatter of block-byte payloads:
+// the root posts its sends in ascending destination order, then each
+// destination receives.
+func (s *vecReplay) replayScatter(block int) {
+	n := s.w.size
+	for dst := 1; dst < n; dst++ {
+		s.post[dst] = s.send(0, block)
+	}
+	for dst := 1; dst < n; dst++ {
+		s.recv(dst, block, s.post[dst])
+	}
+}
+
+// replayBcast mirrors bcastImpl's algorithm selection for a root-0
+// broadcast of nb bytes: binomial for short messages, van de Geijn
+// (binomial-block scatter + allgather) past BcastLongBytes.
+func (s *vecReplay) replayBcast(nb int) string {
+	n := s.w.size
+	if nb > s.w.cfg.BcastLongBytes && n > 2 {
+		block := (nb + n - 1) / n
+		s.replayScatter(block)
+		s.replayAllgather(block)
+		return "vandegeijn"
+	}
+	s.replayBcastBinomial(nb)
+	return "binomial"
+}
+
+// replayAllgather mirrors allgatherImpl: recursive doubling for small
+// blocks on power-of-two worlds, the ring otherwise. Each round's sends
+// all precede its receives — every rank's program is send-then-recv, so
+// the round's post times are complete before any rank matches.
+func (s *vecReplay) replayAllgather(m int) string {
+	n := s.w.size
+	if n&(n-1) == 0 && m <= s.w.cfg.AllgatherSwitchBytes {
+		for mask := 1; mask < n; mask <<= 1 {
+			run := mask * m
+			for j := 0; j < n; j++ {
+				s.post[j] = s.send(j, run)
+			}
+			for j := 0; j < n; j++ {
+				s.recv(j, run, s.post[j^mask])
+			}
+		}
+		return "rd"
+	}
+	for step := 0; step < n-1; step++ {
+		for j := 0; j < n; j++ {
+			s.post[j] = s.send(j, m)
+		}
+		for j := 0; j < n; j++ {
+			s.recv(j, m, s.post[(j-1+n)%n])
+		}
+	}
+	return "ring"
+}
+
+// replayRDAllreduce replays the power-of-two recursive-doubling
+// Allreduce of nb bytes.
+func (s *vecReplay) replayRDAllreduce(nb int) {
+	n := s.w.size
+	for mask := 1; mask < n; mask <<= 1 {
+		for j := 0; j < n; j++ {
+			s.post[j] = s.send(j, nb)
+		}
+		for j := 0; j < n; j++ {
+			s.recv(j, nb, s.post[j^mask])
+		}
+	}
+}
+
+// replayAlltoall replays the pairwise exchange of block-byte payloads.
+func (s *vecReplay) replayAlltoall(block int) {
+	n := s.w.size
+	for step := 1; step < n; step++ {
+		for j := 0; j < n; j++ {
+			s.post[j] = s.send(j, block)
+		}
+		for j := 0; j < n; j++ {
+			s.recv(j, block, s.post[(j-step+n)%n])
+		}
+	}
+}
+
+// replayPair replays one id^1 Sendrecv exchange (even-size worlds).
+func (s *vecReplay) replayPair(bytes int, bytesPer []int) {
+	n := s.w.size
+	for j := 0; j < n; j++ {
+		s.post[j] = s.send(j, stepRankBytes(j, bytes, bytesPer))
+	}
+	for j := 0; j < n; j++ {
+		s.recv(j, stepRankBytes(j^1, bytes, bytesPer), s.post[j^1])
+	}
+}
+
+// replayShift replays one ring Sendrecv exchange at the given shift:
+// rank j sends its payload to (j+shift)%n and receives the payload
+// rank (j-shift+n)%n posted at the same program point.
+func (s *vecReplay) replayShift(shift int, bytes int, bytesPer []int) {
+	n := s.w.size
+	for j := 0; j < n; j++ {
+		s.post[j] = s.send(j, stepRankBytes(j, bytes, bytesPer))
+	}
+	for j := 0; j < n; j++ {
+		src := (j - shift + n) % n
+		s.recv(j, stepRankBytes(src, bytes, bytesPer), s.post[src])
+	}
+}
+
+// stepRankBytes resolves rank j's payload size for a Pair/Ring step.
+func stepRankBytes(j, bytes int, bytesPer []int) int {
+	if bytesPer != nil {
+		return bytesPer[j%len(bytesPer)]
+	}
+	return bytes
+}
+
+// replayOp replays one collective, mirroring the engine's algorithm
+// selection, and returns the algorithm name. ok is false for kinds the
+// vector replay does not price (Pair/Ring/Compute take replayStep).
+func (s *vecReplay) replayOp(kind CollectiveKind, msgBytes int) (string, bool) {
+	switch kind {
+	case BcastKind:
+		return s.replayBcast(msgBytes), true
+	case AllreduceKind:
+		elems := msgBytes / 8
+		if elems < 1 {
+			elems = 1
+		}
+		nb := 8 * elems
+		if n := s.w.size; n&(n-1) == 0 {
+			s.replayRDAllreduce(nb)
+			return "rd", true
+		}
+		s.replayReduce(nb)
+		s.replayBcast(nb)
+		return "reduce+bcast", true
+	case AllgatherKind:
+		return s.replayAllgather(msgBytes), true
+	case AlltoallKind:
+		s.replayAlltoall(msgBytes)
+		return "pairwise", true
+	default:
+		return "", false
+	}
+}
+
+// replayStep replays one script step. The caller has already verified
+// the step is vector-replayable (vecRepeatSeq).
+func (s *vecReplay) replayStep(st SeqStep) {
+	n := s.w.size
+	if st.ComputePer != nil {
+		L := len(st.ComputePer)
+		for j := 0; j < n; j++ {
+			if c := st.ComputePer[j%L]; c > 0 {
+				s.t[j] += c
+			}
+		}
+	} else if st.Compute > 0 {
+		for j := 0; j < n; j++ {
+			s.t[j] += st.Compute
+		}
+	}
+	switch st.Kind {
+	case ComputeStep:
+	case PairKind:
+		s.replayPair(st.Bytes, st.BytesPer)
+	case RingKind:
+		s.replayShift(seqShift(st, n), st.Bytes, st.BytesPer)
+	default:
+		s.replayOp(st.Kind, st.Bytes)
+	}
+}
+
+// seqShift resolves a RingKind step's effective shift: Shift modulo the
+// world size, shifting by one when that is zero (a rank never exchanges
+// with itself) — the same normalization seqBody applies.
+func seqShift(st SeqStep, n int) int {
+	sh := st.Shift % n
+	if sh == 0 {
+		sh = 1
+	}
+	return sh
+}
+
+// vecRepeatOp prices iters identical collectives whose algorithm the
+// scalar replay refuses (binomial Bcast, the non-power-of-two
+// reduce+bcast Allreduce) with the full clock vector. The caller has
+// already checked repeatable().
+func (w *World) vecRepeatOp(kind CollectiveKind, msgBytes, iters int) (vclock.Time, bool) {
+	switch kind {
+	case BcastKind, AllreduceKind, AllgatherKind, AlltoallKind:
+	default:
+		return 0, false
+	}
+	s := newVecReplay(w)
+	var algo string
+	for i := 0; i < iters; i++ {
+		algo, _ = s.replayOp(kind, msgBytes)
+	}
+	if w.cfg.Tracer != nil {
+		w.traceVecRepeat(fmt.Sprintf("%s[%s] x%d", kind, algo, iters), s)
+	}
+	return s.makespan(), true
+}
+
+// vecRepeatSeq replays a script whose steps break the scalar symmetry
+// (per-rank compute, per-rank payload sizes, asymmetric collectives)
+// but stay within the vector replay's reach. The caller has already
+// checked repeatable().
+func (w *World) vecRepeatSeq(steps []SeqStep, iters int) (vclock.Time, bool) {
+	for _, st := range steps {
+		switch st.Kind {
+		case ComputeStep, BcastKind, AllreduceKind, AllgatherKind, AlltoallKind, RingKind:
+		case PairKind:
+			if w.size%2 != 0 {
+				return 0, false
+			}
+		default:
+			return 0, false
+		}
+	}
+	s := newVecReplay(w)
+	for i := 0; i < iters; i++ {
+		for _, st := range steps {
+			s.replayStep(st)
+		}
+	}
+	if w.cfg.Tracer != nil {
+		w.traceVecRepeat(fmt.Sprintf("seq x%d", iters), s)
+	}
+	return s.makespan(), true
+}
+
+// traceVecRepeat records the replayed batch as one aggregated span plus
+// the world-wide counters a full run would have accumulated. Unlike
+// traceRepeat, the vector replay's counters already cover every rank.
+func (w *World) traceVecRepeat(name string, s *vecReplay) {
+	tr := w.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	track := w.cfg.TraceLabel
+	if track == "" {
+		track = "repeat"
+	}
+	tr.Span(track, simtrace.CatMPI, name, 0, s.makespan(), s.bytes)
+	tr.Count(simtrace.CatMPI, "messages", s.msgs)
+	tr.Count(simtrace.CatMPI, "bytes", s.bytes)
+}
